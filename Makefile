@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench reproduce serve clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/skyd/ ./internal/sim/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at full scale (writes data/*.csv).
+reproduce:
+	$(GO) run ./cmd/skybench -ex all -csvdir data | tee skybench_full.txt
+
+serve:
+	$(GO) run ./cmd/skyd -addr 127.0.0.1:8080
+
+clean:
+	rm -rf data skybench_full.txt test_output.txt bench_output.txt

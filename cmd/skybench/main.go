@@ -1,0 +1,178 @@
+// Command skybench regenerates the paper's tables and figures on the
+// simulated sky.
+//
+// Usage:
+//
+//	skybench -ex all                 # every experiment at paper scale
+//	skybench -ex ex3,ex5 -scale reduced
+//	skybench -ex table1              # Table 1 (workload catalog) only
+//	skybench -ex ex5 -seed 7 -profile-runs 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"skyfaas/internal/experiments"
+	"skyfaas/internal/tablefmt"
+	"skyfaas/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skybench", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	exFlag := fs.String("ex", "all", "experiments to run: all | table1,ex1,ex2,ex3,ex4,ex5")
+	seed := fs.Uint64("seed", 42, "simulation seed (equal seeds replay exactly)")
+	scale := fs.String("scale", "full", "full | reduced")
+	profileRuns := fs.Int("profile-runs", 0, "EX-5 profiling executions per workload per zone (0 = default)")
+	days := fs.Int("days", 0, "EX-4/EX-5 evaluation days (0 = paper's 14)")
+	csvDir := fs.String("csvdir", "", "also write each figure's dataset as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reduced := *scale == "reduced"
+	if *scale != "full" && *scale != "reduced" {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	runOne := func(name string, fn func() (string, error)) error {
+		if !all && !want[name] {
+			return nil
+		}
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("==== %s (%s, seed %d, %.1fs) ====\n%s\n", name, *scale, *seed, time.Since(start).Seconds(), out)
+		return nil
+	}
+
+	if err := runOne("table1", func() (string, error) {
+		t := tablefmt.New("Function", "vCPUs", "BaseMS", "Description")
+		for _, s := range workload.All() {
+			t.Row(s.Name, s.VCPUs, s.BaseMS, s.Description)
+		}
+		return "Table 1 — workload catalog\n" + t.String(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runOne("ex1", func() (string, error) {
+		cfg := experiments.EX1Config{Seed: *seed}
+		if reduced {
+			cfg = cfg.Reduced()
+		}
+		res, err := experiments.RunEX1(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := res.WriteCSV(*csvDir); err != nil {
+				return "", err
+			}
+		}
+		return res.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runOne("ex2", func() (string, error) {
+		cfg := experiments.EX2Config{Seed: *seed}
+		if reduced {
+			cfg = cfg.Reduced()
+		}
+		res, err := experiments.RunEX2(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := res.WriteCSV(*csvDir); err != nil {
+				return "", err
+			}
+		}
+		return res.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runOne("ex3", func() (string, error) {
+		cfg := experiments.EX3Config{Seed: *seed}
+		if reduced {
+			cfg = cfg.Reduced()
+		}
+		res, err := experiments.RunEX3(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := res.WriteCSV(*csvDir); err != nil {
+				return "", err
+			}
+		}
+		return res.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runOne("ex4", func() (string, error) {
+		cfg := experiments.EX4Config{Seed: *seed}
+		if *days > 0 {
+			cfg.Rounds = *days
+		}
+		if reduced {
+			cfg = cfg.Reduced()
+		}
+		res, err := experiments.RunEX4(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := res.WriteCSV(*csvDir); err != nil {
+				return "", err
+			}
+		}
+		return res.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	return runOne("ex5", func() (string, error) {
+		cfg := experiments.EX5Config{Seed: *seed}
+		if *days > 0 {
+			cfg.Days = *days
+		}
+		if *profileRuns > 0 {
+			cfg.ProfileRuns = *profileRuns
+		}
+		if reduced {
+			cfg = cfg.Reduced()
+		}
+		res, err := experiments.RunEX5(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := res.WriteCSV(*csvDir); err != nil {
+				return "", err
+			}
+		}
+		return res.Render(), nil
+	})
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	go func() { errCh <- fn() }()
+	runErr := <-errCh
+	_ = w.Close()
+	buf := new(strings.Builder)
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(tmp)
+		buf.Write(tmp[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return buf.String(), runErr
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-ex", "table1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "logistic_regression", "zipper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunReducedEx1WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-ex", "ex1", "-scale", "reduced", "-csvdir", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "Fig. 4") {
+		t.Errorf("missing figure sections:\n%s", out)
+	}
+	for _, f := range []string{"fig3_sleep_sweep.csv", "fig4_saturation.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("csv %s not written: %v", f, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-ex", "ex99"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("unknown experiment produced output: %q", out)
+	}
+}

@@ -1,0 +1,103 @@
+// Command skycalib runs the real Table-1 workload implementations on this
+// machine, measures their wall time, and compares the measured runtime
+// *ratios* against the simulator's modelled BaseMS ratios.
+//
+// The simulator's cost model cannot predict absolute runtimes on unknown
+// hardware, but the relative weight of the workloads should be of the same
+// order on any CPU; this tool makes that check a one-liner.
+//
+//	skycalib -runs 5 -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"skyfaas/internal/stats"
+	"skyfaas/internal/tablefmt"
+	"skyfaas/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skycalib:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skycalib", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	runs := fs.Int("runs", 5, "measured executions per workload (after one warmup)")
+	scale := fs.Int("scale", 1, "workload problem-size multiplier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("need at least 1 run")
+	}
+
+	dir, err := os.MkdirTemp("", "skycalib")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	type row struct {
+		spec     workload.Spec
+		measured float64 // mean wall ms
+	}
+	rows := make([]row, 0, 12)
+	for _, spec := range workload.All() {
+		in := workload.Input{Seed: 1, Scale: *scale, TempDir: dir}
+		// Warmup run (page cache, allocator).
+		if _, err := workload.Run(spec.ID, in); err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		var samples []float64
+		for i := 0; i < *runs; i++ {
+			in.Seed = uint64(i + 2)
+			start := time.Now()
+			if _, err := workload.Run(spec.ID, in); err != nil {
+				return fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			samples = append(samples, float64(time.Since(start).Microseconds())/1000)
+		}
+		rows = append(rows, row{spec: spec, measured: stats.Mean(samples)})
+	}
+
+	// Normalize both columns to sha1_hash (the smallest workload) so the
+	// comparison is scale-free.
+	var refMeasured, refModel float64
+	for _, r := range rows {
+		if r.spec.ID == workload.Sha1Hash {
+			refMeasured, refModel = r.measured, r.spec.BaseMS
+		}
+	}
+	if refMeasured == 0 || refModel == 0 {
+		return fmt.Errorf("missing sha1_hash reference")
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].spec.ID < rows[j].spec.ID })
+	t := tablefmt.New("workload", "measured ms", "x sha1 (real)", "x sha1 (model)", "ratio gap")
+	for _, r := range rows {
+		realRel := r.measured / refMeasured
+		modelRel := r.spec.BaseMS / refModel
+		gap := realRel / modelRel
+		t.Row(r.spec.Name,
+			fmt.Sprintf("%.1f", r.measured),
+			fmt.Sprintf("%.2f", realRel),
+			fmt.Sprintf("%.2f", modelRel),
+			fmt.Sprintf("%.2f", gap))
+	}
+	fmt.Printf("calibration on this machine (%d runs each, scale %d, normalized to sha1_hash)\n",
+		*runs, *scale)
+	fmt.Print(t.String())
+	fmt.Println("\nratio gap ~1 means the modelled workload weights match this machine;")
+	fmt.Println("large gaps flag workloads whose BaseMS should be re-derived before")
+	fmt.Println("trusting absolute (not relative) cost numbers.")
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesTable(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-runs", "1"})
+	_ = w.Close()
+	os.Stdout = old
+	buf := new(strings.Builder)
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(tmp)
+		buf.Write(tmp[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	out := buf.String()
+	for _, want := range []string{"calibration", "sha1_hash", "ratio gap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-runs", "0"}); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

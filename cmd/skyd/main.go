@@ -1,0 +1,78 @@
+// Command skyd serves the sky middleware control plane over HTTP: a live
+// (real-time paced) sky runtime you can characterize, profile, and route
+// against with curl.
+//
+//	skyd -addr :8080 -speedup 1000 &
+//	curl localhost:8080/v1/zones
+//	curl -XPOST localhost:8080/v1/characterize -d '{"az":"us-west-1a","polls":6}'
+//	curl -XPOST localhost:8080/v1/profile -d '{"workload":"zipper","zones":["us-west-1a"],"runs":300}'
+//	curl -XPOST localhost:8080/v1/burst -d '{"strategy":"hybrid","workload":"zipper","n":200,"candidates":["us-west-1a","sa-east-1a"]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"skyfaas/internal/core"
+	"skyfaas/internal/skyd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skyd", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	speedup := fs.Float64("speedup", 1000, "virtual seconds per wall second")
+	fullMesh := fs.Bool("full-mesh", false, "deploy the full 698-endpoint mesh (slower startup)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rt, err := core.New(core.Config{Seed: *seed, SkipMesh: !*fullMesh})
+	if err != nil {
+		return err
+	}
+	server, err := skyd.New(skyd.Config{Runtime: rt, Speedup: *speedup})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	log.Printf("skyd listening on %s (seed %d, %gx pacing)", *addr, *seed, *speedup)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			return err
+		}
+		return nil
+	}
+}

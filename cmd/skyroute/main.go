@@ -1,0 +1,144 @@
+// Command skyroute drives one workload through every routing strategy and
+// prints the cost comparison — a one-shot view of the paper's EX-5.
+//
+// Usage:
+//
+//	skyroute -workload zipper -n 500
+//	skyroute -workload logistic_regression -zones us-west-1a,us-west-1b,sa-east-1a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"skyfaas/internal/core"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/router"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/tablefmt"
+	"skyfaas/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skyroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skyroute", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	wlName := fs.String("workload", "zipper", "Table-1 workload name")
+	n := fs.Int("n", 500, "invocations per burst")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	zonesFlag := fs.String("zones", "us-west-1a,us-west-1b,sa-east-1a", "candidate zones (first = fixed baseline zone)")
+	profileRuns := fs.Int("profile-runs", 1200, "profiling executions per zone")
+	refreshPolls := fs.Int("refresh-polls", 6, "characterization polls per zone")
+	client := fs.String("client", "", "client city (seattle, london, tokyo, ...): adds latency-bound and cost-aware strategies")
+	maxRTT := fs.Duration("max-rtt", 120*time.Millisecond, "latency bound for the -client strategy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, ok := workload.ByName(*wlName)
+	if !ok {
+		names := make([]string, 0, 12)
+		for _, s := range workload.All() {
+			names = append(names, s.Name)
+		}
+		return fmt.Errorf("unknown workload %q; choose from: %s", *wlName, strings.Join(names, ", "))
+	}
+	var clientLoc geo.Coord
+	if *client != "" {
+		loc, ok := geo.City(*client)
+		if !ok {
+			return fmt.Errorf("unknown city %q", *client)
+		}
+		clientLoc = loc
+	}
+	zones := strings.Split(*zonesFlag, ",")
+	for i := range zones {
+		zones[i] = strings.TrimSpace(zones[i])
+	}
+	if len(zones) == 0 {
+		return fmt.Errorf("no zones given")
+	}
+
+	rt, err := core.New(core.Config{Seed: *seed, SkipMesh: true})
+	if err != nil {
+		return err
+	}
+	for _, z := range zones {
+		if _, ok := rt.Cloud().AZ(z); !ok {
+			return fmt.Errorf("unknown AZ %q", z)
+		}
+	}
+	fixed := zones[0]
+
+	return rt.Do(func(p *sim.Proc) error {
+		fmt.Printf("characterizing %d zones (%d polls each)...\n", len(zones), *refreshPolls)
+		sampleCost, err := rt.Refresh(p, zones, *refreshPolls)
+		if err != nil {
+			return err
+		}
+		for _, z := range zones {
+			if ch, ok := rt.Store().Get(z, rt.Env().Now()); ok {
+				fmt.Printf("  %-16s %s\n", z, ch.Dist())
+			}
+		}
+		fmt.Printf("profiling %s (%d runs per zone)...\n", spec.Name, *profileRuns)
+		profCost, err := rt.ProfileWorkloads(p, []workload.ID{spec.ID}, zones, *profileRuns)
+		if err != nil {
+			return err
+		}
+
+		strategies := []router.Strategy{
+			router.Baseline{AZ: fixed},
+			router.Regional{},
+			router.RetrySlow{AZ: fixed},
+			router.FocusFastest{AZ: fixed},
+			router.Hybrid{},
+		}
+		if *client != "" {
+			strategies = append(strategies,
+				router.LatencyBound{
+					Client:  clientLoc,
+					MaxRTT:  *maxRTT,
+					Locator: router.NewZoneLocator(rt.Cloud()),
+				},
+				router.CostAware{Pricer: router.NewZonePricer(rt.Cloud())},
+			)
+		}
+		t := tablefmt.New("strategy", "zone", "cost", "vs baseline", "meanMS", "retried", "elapsed")
+		var baseCost float64
+		for _, s := range strategies {
+			res, err := rt.Run(p, router.BurstSpec{
+				Strategy:   s,
+				Workload:   spec.ID,
+				N:          *n,
+				Candidates: zones,
+			})
+			if err != nil {
+				return err
+			}
+			if s.Name() == "baseline" {
+				baseCost = res.CostUSD
+			}
+			vs := "-"
+			if baseCost > 0 && s.Name() != "baseline" {
+				vs = tablefmt.Pct(1 - res.CostUSD/baseCost)
+			}
+			t.Row(s.Name(), res.AZ, tablefmt.USD(res.CostUSD), vs,
+				fmt.Sprintf("%.0f", res.MeanRunMS()), tablefmt.Pct(res.RetryFrac()),
+				res.Elapsed.Truncate(1e7).String())
+			// Space bursts out so warm instances expire between strategies.
+			p.Sleep(rt.Cloud().Options().KeepAlive + 1e9)
+		}
+		fmt.Printf("\n%s burst of %d on zones %v\n%s", spec.Name, *n, zones, t.String())
+		fmt.Printf("\nsampling spend %s, profiling spend %s\n", tablefmt.USD(sampleCost), tablefmt.USD(profCost))
+		return nil
+	})
+}

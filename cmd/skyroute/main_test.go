@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	_ = w.Close()
+	os.Stdout = old
+	buf := new(strings.Builder)
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(tmp)
+		buf.Write(tmp[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return buf.String(), runErr
+}
+
+func TestRouteComparisonTable(t *testing.T) {
+	out, err := capture(t, []string{
+		"-workload", "sha1_hash", "-n", "40",
+		"-profile-runs", "150", "-refresh-polls", "2",
+		"-zones", "us-west-1b,sa-east-1a",
+		"-client", "seattle",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"baseline", "regional", "retry-slow", "focus-fastest", "hybrid",
+		"latency-bound+hybrid", "cost-aware", "sampling spend",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := run([]string{"-workload", "quantum_sort"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-zones", "atlantis-1a"}); err == nil {
+		t.Error("unknown zone accepted")
+	}
+	if err := run([]string{"-workload", "zipper", "-client", "gotham"}); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if err := run([]string{"-zorp"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Multicloud: build the full sky mesh across AWS Lambda, IBM Code Engine,
+// and DigitalOcean Functions, characterize a zone from each provider, and
+// show where a workload runs cheapest — the paper's EX-2 view.
+//
+//	go run ./examples/multicloud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skyfaas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rt, err := sky.New(sky.Config{Seed: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sky mesh deployed: %d endpoints across %d regions\n\n",
+		rt.Mesh().Size(), len(rt.Cloud().Regions()))
+
+	// One zone per provider.
+	zones := []string{"us-west-2a", "eu-de-a", "nyc1-a"}
+	zipper, _ := sky.WorkloadByName("zipper")
+
+	return rt.Do(func(p *sky.Proc) error {
+		if _, err := rt.Refresh(p, zones, 5); err != nil {
+			return err
+		}
+		fmt.Println("per-provider CPU pools (as characterized by sampling):")
+		for _, z := range zones {
+			ch, _ := rt.Store().Get(z, rt.Env().Now())
+			fmt.Printf("  %-12s %s\n", z, ch.Dist())
+		}
+		fmt.Println()
+
+		if _, err := rt.ProfileWorkloads(p, []sky.WorkloadID{zipper.ID}, zones, 600); err != nil {
+			return err
+		}
+
+		fmt.Println("zipper burst of 200 per zone:")
+		var best string
+		var bestCost float64
+		for _, z := range zones {
+			res, err := rt.Run(p, sky.BurstSpec{
+				Strategy: sky.Baseline{AZ: z},
+				Workload: zipper.ID,
+				N:        200,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-12s $%.4f  (mean %4.0f ms on %d CPU types)\n",
+				z, res.CostUSD, res.MeanRunMS(), len(res.PerCPU))
+			if best == "" || res.CostUSD < bestCost {
+				best, bestCost = z, res.CostUSD
+			}
+		}
+		fmt.Printf("\ncheapest zone for zipper right now: %s\n", best)
+
+		// Sky routing across providers: hand the decision to Regional.
+		res, err := rt.Run(p, sky.BurstSpec{
+			Strategy:   sky.Regional{},
+			Workload:   zipper.ID,
+			N:          200,
+			Candidates: zones,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Regional strategy picked %s ($%.4f)\n", res.AZ, res.CostUSD)
+		return nil
+	})
+}

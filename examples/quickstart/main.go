@@ -1,0 +1,80 @@
+// Quickstart: stand up a sky, characterize two zones, learn a workload's
+// per-CPU performance, and route a burst with the hybrid strategy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skyfaas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A full 41-region world; everything below is deterministic in Seed.
+	rt, err := sky.New(sky.Config{Seed: 42})
+	if err != nil {
+		return err
+	}
+
+	zipper, _ := sky.WorkloadByName("zipper")
+	zones := []string{"us-west-1a", "us-west-1b", "sa-east-1a"}
+
+	return rt.Do(func(p *sky.Proc) error {
+		// 1. Characterize each zone's hidden CPU pool with a few polls.
+		fmt.Println("characterizing zones...")
+		cost, err := rt.Refresh(p, zones, 6)
+		if err != nil {
+			return err
+		}
+		for _, z := range zones {
+			ch, _ := rt.Store().Get(z, rt.Env().Now())
+			fmt.Printf("  %-12s %5d FIs sampled  ->  %s\n", z, ch.Samples, ch.Dist())
+		}
+		fmt.Printf("  sampling spend: $%.4f\n\n", cost)
+
+		// 2. Learn how the workload performs on each CPU type.
+		fmt.Println("profiling zipper...")
+		if _, err := rt.ProfileWorkloads(p, []sky.WorkloadID{zipper.ID}, zones, 900); err != nil {
+			return err
+		}
+		for _, k := range rt.Perf().Kinds(zipper.ID) {
+			mean, _ := rt.Perf().Mean(zipper.ID, k)
+			fmt.Printf("  %-14v mean %6.0f ms\n", k, mean)
+		}
+		fmt.Println()
+
+		// 3. Route a burst: fixed-zone baseline vs the hybrid strategy
+		//    (region hopping + CPU-targeted retries).
+		baseline, err := rt.Run(p, sky.BurstSpec{
+			Strategy:   sky.Baseline{AZ: "us-west-1b"},
+			Workload:   zipper.ID,
+			N:          300,
+			Candidates: zones,
+		})
+		if err != nil {
+			return err
+		}
+		hybrid, err := rt.Run(p, sky.BurstSpec{
+			Strategy:   sky.Hybrid{},
+			Workload:   zipper.ID,
+			N:          300,
+			Candidates: zones,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline (%s): $%.4f   mean %4.0f ms\n", baseline.AZ, baseline.CostUSD, baseline.MeanRunMS())
+		fmt.Printf("hybrid   (%s): $%.4f   mean %4.0f ms   retried %.0f%%\n",
+			hybrid.AZ, hybrid.CostUSD, hybrid.MeanRunMS(), hybrid.RetryFrac()*100)
+		fmt.Printf("savings: %.1f%%\n", (1-hybrid.CostUSD/baseline.CostUSD)*100)
+		return nil
+	})
+}

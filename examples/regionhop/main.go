@@ -1,0 +1,74 @@
+// Region hop: track a workload for a week of daily bursts, comparing a
+// fixed-zone baseline against the hybrid strategy that re-characterizes
+// zones each day and hops to the best one — the paper's Fig.-11 scenario.
+//
+//	go run ./examples/regionhop
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"skyfaas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rt, err := sky.New(sky.Config{Seed: 11})
+	if err != nil {
+		return err
+	}
+	logreg, _ := sky.WorkloadByName("logistic_regression")
+	zones := []string{"us-west-1a", "us-west-1b", "sa-east-1a"}
+	const fixed = "us-west-1b"
+	const days = 7
+	const burstN = 300
+
+	return rt.Do(func(p *sky.Proc) error {
+		if _, err := rt.ProfileWorkloads(p, []sky.WorkloadID{logreg.ID}, zones, 1200); err != nil {
+			return err
+		}
+		p.Sleep(6 * time.Minute)
+
+		var baseTotal, hybridTotal, sampleTotal float64
+		fmt.Printf("%-4s  %-10s  %-10s  %-12s  %s\n", "day", "baseline", "hybrid", "zone chosen", "daily savings")
+		for day := 1; day <= days; day++ {
+			// Re-characterize every morning: volatile zones drift daily.
+			cost, err := rt.Refresh(p, zones, 6)
+			if err != nil {
+				return err
+			}
+			sampleTotal += cost
+
+			base, err := rt.Run(p, sky.BurstSpec{
+				Strategy: sky.Baseline{AZ: fixed}, Workload: logreg.ID, N: burstN, Candidates: zones,
+			})
+			if err != nil {
+				return err
+			}
+			p.Sleep(6 * time.Minute)
+			hyb, err := rt.Run(p, sky.BurstSpec{
+				Strategy: sky.Hybrid{}, Workload: logreg.ID, N: burstN, Candidates: zones,
+			})
+			if err != nil {
+				return err
+			}
+			baseTotal += base.CostUSD
+			hybridTotal += hyb.CostUSD
+			fmt.Printf("%-4d  $%.4f    $%.4f    %-12s  %5.1f%%\n",
+				day, base.CostUSD, hyb.CostUSD, hyb.AZ, (1-hyb.CostUSD/base.CostUSD)*100)
+			if day < days {
+				p.Sleep(22 * time.Hour)
+			}
+		}
+		fmt.Printf("\ncumulative savings %.1f%% (spent $%.4f on characterization)\n",
+			(1-hybridTotal/baseTotal)*100, sampleTotal)
+		return nil
+	})
+}

@@ -1,0 +1,3 @@
+module skyfaas
+
+go 1.22

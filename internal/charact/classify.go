@@ -1,0 +1,140 @@
+package charact
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements the zone-classification opportunity §4.4 points out:
+// "stable AZs require less sampling to save on profiling costs ... while
+// others may require more samples". A Classifier watches each zone's
+// characterization history and recommends how often it needs re-profiling.
+
+// ZoneClass is a zone's temporal-stability class.
+type ZoneClass int
+
+// Stability classes, from least to most sampling demand.
+const (
+	// ClassUnknown means too little history to classify.
+	ClassUnknown ZoneClass = iota
+	// ClassStable zones hold their distribution for days (sa-east-1a,
+	// eu-north-1a in the paper).
+	ClassStable
+	// ClassModerate zones drift noticeably across days.
+	ClassModerate
+	// ClassVolatile zones can shift 20-50% within a day (ca-central-1a,
+	// us-west-1a/b).
+	ClassVolatile
+)
+
+// String returns the class label.
+func (c ZoneClass) String() string {
+	switch c {
+	case ClassStable:
+		return "stable"
+	case ClassModerate:
+		return "moderate"
+	case ClassVolatile:
+		return "volatile"
+	default:
+		return "unknown"
+	}
+}
+
+// Classifier accumulates characterization history per zone and classifies
+// each zone's volatility from consecutive-observation APE.
+type Classifier struct {
+	// StableAPE and VolatileAPE are the class boundaries on the mean
+	// step-to-step APE (percent). Defaults: 5 and 15.
+	StableAPE   float64
+	VolatileAPE float64
+	// MinHistory is the number of observations needed before classifying
+	// (default 3).
+	MinHistory int
+
+	history map[string][]Dist
+}
+
+// NewClassifier returns a classifier with default thresholds.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		StableAPE:   5,
+		VolatileAPE: 15,
+		MinHistory:  3,
+		history:     make(map[string][]Dist),
+	}
+}
+
+// Observe appends a zone observation.
+func (c *Classifier) Observe(az string, d Dist) {
+	c.history[az] = append(c.history[az], d)
+}
+
+// StepAPEs returns the APE between each consecutive pair of observations.
+func (c *Classifier) StepAPEs(az string) []float64 {
+	h := c.history[az]
+	if len(h) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(h)-1)
+	for i := 1; i < len(h); i++ {
+		out = append(out, APE(h[i], h[i-1]))
+	}
+	return out
+}
+
+// Classify returns the zone's stability class.
+func (c *Classifier) Classify(az string) ZoneClass {
+	steps := c.StepAPEs(az)
+	if len(steps)+1 < c.MinHistory {
+		return ClassUnknown
+	}
+	var sum float64
+	for _, s := range steps {
+		sum += s
+	}
+	mean := sum / float64(len(steps))
+	switch {
+	case mean <= c.StableAPE:
+		return ClassStable
+	case mean >= c.VolatileAPE:
+		return ClassVolatile
+	default:
+		return ClassModerate
+	}
+}
+
+// RecommendedInterval maps a class to a re-profiling cadence, implementing
+// the paper's save-on-profiling-cost suggestion: stable zones coast on old
+// characterizations, volatile zones are re-sampled daily or faster.
+func (c *Classifier) RecommendedInterval(az string) time.Duration {
+	switch c.Classify(az) {
+	case ClassStable:
+		return 7 * 24 * time.Hour
+	case ClassModerate:
+		return 2 * 24 * time.Hour
+	case ClassVolatile:
+		return 12 * time.Hour
+	default:
+		return 24 * time.Hour
+	}
+}
+
+// Report renders one line per classified zone.
+func (c *Classifier) Report() string {
+	out := ""
+	for az := range c.history {
+		out += fmt.Sprintf("%s: %s (refresh every %s)\n",
+			az, c.Classify(az), c.RecommendedInterval(az))
+	}
+	return out
+}
+
+// Zones returns the observed zone names (unordered).
+func (c *Classifier) Zones() []string {
+	out := make([]string, 0, len(c.history))
+	for az := range c.history {
+		out = append(out, az)
+	}
+	return out
+}

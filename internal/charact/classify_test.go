@@ -1,0 +1,121 @@
+package charact
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cpu"
+)
+
+func obsSeries(c *Classifier, az string, dists ...Dist) {
+	for _, d := range dists {
+		c.Observe(az, d)
+	}
+}
+
+func TestClassifierUnknownWithoutHistory(t *testing.T) {
+	c := NewClassifier()
+	if got := c.Classify("ghost"); got != ClassUnknown {
+		t.Fatalf("class = %v", got)
+	}
+	c.Observe("z", Dist{cpu.Xeon25: 1})
+	c.Observe("z", Dist{cpu.Xeon25: 1})
+	if got := c.Classify("z"); got != ClassUnknown {
+		t.Fatalf("two observations classified as %v, want unknown", got)
+	}
+	if c.StepAPEs("ghost") != nil {
+		t.Fatal("step APEs for unknown zone")
+	}
+}
+
+func TestClassifierStable(t *testing.T) {
+	c := NewClassifier()
+	obsSeries(c, "sa-east-1a",
+		Dist{cpu.Xeon25: 0.65, cpu.Xeon30: 0.35},
+		Dist{cpu.Xeon25: 0.64, cpu.Xeon30: 0.36},
+		Dist{cpu.Xeon25: 0.66, cpu.Xeon30: 0.34},
+		Dist{cpu.Xeon25: 0.65, cpu.Xeon30: 0.35},
+	)
+	if got := c.Classify("sa-east-1a"); got != ClassStable {
+		t.Fatalf("class = %v, want stable", got)
+	}
+	if got := c.RecommendedInterval("sa-east-1a"); got != 7*24*time.Hour {
+		t.Fatalf("interval = %v", got)
+	}
+}
+
+func TestClassifierVolatile(t *testing.T) {
+	c := NewClassifier()
+	obsSeries(c, "ca-central-1a",
+		Dist{cpu.Xeon25: 0.50, cpu.Xeon29: 0.30, cpu.Xeon30: 0.20},
+		Dist{cpu.Xeon25: 0.20, cpu.Xeon29: 0.55, cpu.Xeon30: 0.25},
+		Dist{cpu.Xeon25: 0.60, cpu.Xeon29: 0.10, cpu.Xeon30: 0.30},
+	)
+	if got := c.Classify("ca-central-1a"); got != ClassVolatile {
+		t.Fatalf("class = %v, want volatile", got)
+	}
+	if got := c.RecommendedInterval("ca-central-1a"); got != 12*time.Hour {
+		t.Fatalf("interval = %v", got)
+	}
+}
+
+func TestClassifierModerate(t *testing.T) {
+	c := NewClassifier()
+	obsSeries(c, "z",
+		Dist{cpu.Xeon25: 0.60, cpu.Xeon30: 0.40},
+		Dist{cpu.Xeon25: 0.52, cpu.Xeon30: 0.48},
+		Dist{cpu.Xeon25: 0.60, cpu.Xeon30: 0.40},
+	)
+	if got := c.Classify("z"); got != ClassModerate {
+		t.Fatalf("class = %v, want moderate (8%% steps)", got)
+	}
+	if got := c.RecommendedInterval("z"); got != 2*24*time.Hour {
+		t.Fatalf("interval = %v", got)
+	}
+}
+
+func TestClassifierStepAPEs(t *testing.T) {
+	c := NewClassifier()
+	obsSeries(c, "z",
+		Dist{cpu.Xeon25: 1},
+		Dist{cpu.Xeon25: 0.9, cpu.Xeon30: 0.1},
+		Dist{cpu.Xeon25: 0.9, cpu.Xeon30: 0.1},
+	)
+	steps := c.StepAPEs("z")
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[0] < 9.9 || steps[0] > 10.1 || steps[1] > 0.01 {
+		t.Fatalf("steps = %v", steps)
+	}
+}
+
+func TestClassifierReportAndZones(t *testing.T) {
+	c := NewClassifier()
+	obsSeries(c, "a", Dist{cpu.Xeon25: 1}, Dist{cpu.Xeon25: 1}, Dist{cpu.Xeon25: 1})
+	if zones := c.Zones(); len(zones) != 1 || zones[0] != "a" {
+		t.Fatalf("zones = %v", zones)
+	}
+	if rep := c.Report(); !strings.Contains(rep, "a: stable") {
+		t.Fatalf("report = %q", rep)
+	}
+}
+
+func TestZoneClassString(t *testing.T) {
+	for class, want := range map[ZoneClass]string{
+		ClassUnknown: "unknown", ClassStable: "stable",
+		ClassModerate: "moderate", ClassVolatile: "volatile",
+	} {
+		if got := class.String(); got != want {
+			t.Errorf("%d.String() = %q", int(class), got)
+		}
+	}
+}
+
+func TestDefaultIntervalForUnknown(t *testing.T) {
+	c := NewClassifier()
+	if got := c.RecommendedInterval("ghost"); got != 24*time.Hour {
+		t.Fatalf("interval = %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package charact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"skyfaas/internal/cpu"
+)
+
+// Persistence: a sky middleware re-profiles zones on a cadence of hours to
+// days, so characterizations must outlive the process. The wire format
+// keys CPU kinds by their catalog model string (stable across versions),
+// not by numeric enum values.
+
+// storeFile is the serialized form of a Store.
+type storeFile struct {
+	TTLSeconds float64              `json:"ttlSeconds"`
+	Zones      []characterizationJS `json:"zones"`
+}
+
+type characterizationJS struct {
+	AZ      string         `json:"az"`
+	Taken   time.Time      `json:"taken"`
+	Polls   int            `json:"polls"`
+	Samples int            `json:"samples"`
+	CostUSD float64        `json:"costUSD"`
+	Counts  map[string]int `json:"counts"` // keyed by CPU model string
+}
+
+func toJS(ch Characterization) characterizationJS {
+	counts := make(map[string]int, len(ch.Counts))
+	for k, n := range ch.Counts {
+		counts[cpu.MustLookup(k).Model] = n
+	}
+	return characterizationJS{
+		AZ:      ch.AZ,
+		Taken:   ch.Taken,
+		Polls:   ch.Polls,
+		Samples: ch.Samples,
+		CostUSD: ch.CostUSD,
+		Counts:  counts,
+	}
+}
+
+func fromJS(js characterizationJS) (Characterization, error) {
+	counts := make(Counts, len(js.Counts))
+	for model, n := range js.Counts {
+		k, err := cpu.FromModel(model)
+		if err != nil {
+			return Characterization{}, fmt.Errorf("charact: load %s: %w", js.AZ, err)
+		}
+		counts[k] = n
+	}
+	return Characterization{
+		AZ:      js.AZ,
+		Taken:   js.Taken,
+		Polls:   js.Polls,
+		Samples: js.Samples,
+		CostUSD: js.CostUSD,
+		Counts:  counts,
+	}, nil
+}
+
+// Save writes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	file := storeFile{TTLSeconds: s.ttl.Seconds()}
+	zones := make([]string, 0, len(s.by))
+	for az := range s.by {
+		zones = append(zones, az)
+	}
+	sort.Strings(zones)
+	for _, az := range zones {
+		file.Zones = append(file.Zones, toJS(s.by[az]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		return fmt.Errorf("charact: save store: %w", err)
+	}
+	return nil
+}
+
+// LoadStore reads a store written by Save.
+func LoadStore(r io.Reader) (*Store, error) {
+	var file storeFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("charact: load store: %w", err)
+	}
+	s := NewStore(time.Duration(file.TTLSeconds * float64(time.Second)))
+	for _, js := range file.Zones {
+		ch, err := fromJS(js)
+		if err != nil {
+			return nil, err
+		}
+		s.Put(ch)
+	}
+	return s, nil
+}

@@ -1,0 +1,81 @@
+package charact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cpu"
+)
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	s := NewStore(24 * time.Hour)
+	s.Put(Characterization{
+		AZ: "us-west-1a", Taken: now, Polls: 24, Samples: 23936, CostUSD: 0.2254,
+		Counts: Counts{cpu.Xeon25: 12000, cpu.Xeon30: 7000, cpu.Xeon29: 3600, cpu.EPYC: 1336},
+	})
+	s.Put(Characterization{
+		AZ: "eu-north-1a", Taken: now.Add(-time.Hour), Polls: 6, Samples: 4992, CostUSD: 0.0468,
+		Counts: Counts{cpu.Xeon25: 3700, cpu.Xeon30: 1292},
+	})
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wire format keys CPUs by stable model strings, not enum ints.
+	if !strings.Contains(buf.String(), "Intel(R) Xeon(R) Processor @ 2.50GHz") {
+		t.Errorf("serialized form lacks model strings:\n%s", buf.String())
+	}
+
+	back, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, az := range []string{"us-west-1a", "eu-north-1a"} {
+		orig, _ := s.Get(az, now)
+		got, ok := back.Get(az, now)
+		if !ok {
+			t.Fatalf("%s missing after load", az)
+		}
+		if got.Polls != orig.Polls || got.Samples != orig.Samples || got.CostUSD != orig.CostUSD {
+			t.Errorf("%s metadata mismatch: %+v vs %+v", az, got, orig)
+		}
+		if !got.Taken.Equal(orig.Taken) {
+			t.Errorf("%s taken mismatch", az)
+		}
+		if ape := APE(got.Dist(), orig.Dist()); ape > 1e-9 {
+			t.Errorf("%s distribution changed: APE %v", az, ape)
+		}
+	}
+	// TTL survives: entries expire on the loaded store too.
+	if _, ok := back.Get("us-west-1a", now.Add(25*time.Hour)); ok {
+		t.Error("loaded store lost its TTL")
+	}
+}
+
+func TestLoadStoreRejectsGarbage(t *testing.T) {
+	if _, err := LoadStore(strings.NewReader("{nope")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := LoadStore(strings.NewReader(
+		`{"ttlSeconds":60,"zones":[{"az":"z","counts":{"Mystery CPU":5}}]}`)); err == nil {
+		t.Fatal("unknown CPU model accepted")
+	}
+}
+
+func TestSaveEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore(0).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Zones()) != 0 {
+		t.Fatalf("zones = %v", back.Zones())
+	}
+}

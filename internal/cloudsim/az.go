@@ -1,0 +1,527 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/rng"
+)
+
+// Host is one provisioned machine (a bare-metal instance hosting microVMs).
+// Every function instance placed on a host observes the host's CPU.
+type Host struct {
+	id    string
+	kind  cpu.Kind
+	arch  cpu.Arch
+	slots int // FI capacity
+	used  int // live FIs
+}
+
+// ID returns the platform-assigned host identifier a guest can observe.
+func (h *Host) ID() string { return h.id }
+
+// Kind returns the host's processor kind. Only the saaf path and tests may
+// consult this; samplers must infer it from cpuinfo.
+func (h *Host) Kind() cpu.Kind { return h.kind }
+
+// FI is a function instance: an execution environment bound to one
+// deployment, persisting for the keep-alive window after its last use.
+type FI struct {
+	id        string
+	host      *Host
+	dep       *Deployment
+	busy      bool
+	destroyed bool
+	idleGen   uint64 // bumped on every release; validates expiry timers
+	uses      int
+	// cache holds dynamic-function payload hashes already decoded on this
+	// instance (§3.2's per-FI payload cache).
+	cache map[string]struct{}
+}
+
+// ID returns the instance identifier (SAAF's uuid).
+func (f *FI) ID() string { return f.id }
+
+// Host returns the backing host.
+func (f *FI) Host() *Host { return f.host }
+
+// Uses returns how many invocations this instance has served.
+func (f *FI) Uses() int { return f.uses }
+
+// Deployment is one function deployed to one availability zone.
+type Deployment struct {
+	az       *AZ
+	name     string
+	memoryMB int
+	arch     cpu.Arch
+	behavior Behavior
+	dynamic  bool
+	codeHash string
+	warm     []*FI // idle instances, reused LIFO like real platforms
+}
+
+// Name returns the function name (unique within its AZ).
+func (d *Deployment) Name() string { return d.name }
+
+// MemoryMB returns the deployment's memory setting.
+func (d *Deployment) MemoryMB() int { return d.memoryMB }
+
+// AZName returns the owning availability zone's name.
+func (d *Deployment) AZName() string { return d.az.spec.Name }
+
+// vcpus returns the vCPUs the platform grants this memory setting.
+func (d *Deployment) vcpus() int {
+	v := int(math.Round(float64(d.memoryMB) / 1769))
+	if v < 1 {
+		return 1
+	}
+	if v > 6 {
+		return 6
+	}
+	return v
+}
+
+// AZ is the live state of one availability zone: a finite, slowly drifting
+// pool of heterogeneous hosts.
+type AZ struct {
+	cloud       *Cloud
+	region      *Region
+	spec        AZSpec
+	rand        *rng.Stream
+	hosts       []*Host
+	armHosts    []*Host
+	deployments map[string]*Deployment
+	targetMix   map[cpu.Kind]float64
+	baseMix     map[cpu.Kind]float64 // day-0 mix, anchor for mean reversion
+	baseHosts   int                  // day-0 x86 host count, anchor for capacity jitter
+	liveFIs     int
+	hostSeq     int
+	fiSeq       int
+	scaleUpUsed bool
+}
+
+func newAZ(c *Cloud, region *Region, spec AZSpec) *AZ {
+	az := &AZ{
+		cloud:       c,
+		region:      region,
+		spec:        spec,
+		rand:        c.root.Split("az/" + spec.Name),
+		deployments: make(map[string]*Deployment),
+		targetMix:   normalizeMix(spec.Mix),
+		baseMix:     normalizeMix(spec.Mix),
+	}
+	hostFIs := spec.hostFIs()
+	n := spec.PoolFIs / hostFIs
+	if n < 1 {
+		n = 1
+	}
+	az.baseHosts = n
+	for i := 0; i < n; i++ {
+		az.addHost(az.drawKind(az.targetMix), cpu.X86, hostFIs)
+	}
+	for i := 0; i < spec.ArmPoolFIs/hostFIs; i++ {
+		az.addHost(cpu.Graviton, cpu.ARM, hostFIs)
+	}
+	return az
+}
+
+func (s AZSpec) hostFIs() int {
+	if s.HostFIs > 0 {
+		return s.HostFIs
+	}
+	return 128
+}
+
+// Name returns the zone name, e.g. "us-west-1a".
+func (az *AZ) Name() string { return az.spec.Name }
+
+// Region returns the owning region.
+func (az *AZ) Region() *Region { return az.region }
+
+// Spec returns the zone's static specification.
+func (az *AZ) Spec() AZSpec { return az.spec }
+
+// LiveFIs returns the number of currently provisioned function instances.
+func (az *AZ) LiveFIs() int { return az.liveFIs }
+
+// HostCount returns the number of x86 hosts currently provisioned.
+func (az *AZ) HostCount() int { return len(az.hosts) }
+
+// CapacityFIs returns the total x86 FI slots currently provisioned.
+func (az *AZ) CapacityFIs() int {
+	total := 0
+	for _, h := range az.hosts {
+		total += h.slots
+	}
+	return total
+}
+
+// TrueMix returns the ground-truth slot-weighted CPU distribution of the
+// zone's x86 pool. It exists so experiments can score characterization
+// error; sampling code must never call it.
+func (az *AZ) TrueMix() map[cpu.Kind]float64 {
+	counts := make(map[cpu.Kind]float64)
+	total := 0.0
+	for _, h := range az.hosts {
+		counts[h.kind] += float64(h.slots)
+		total += float64(h.slots)
+	}
+	if total == 0 {
+		return counts
+	}
+	for k := range counts {
+		counts[k] /= total
+	}
+	return counts
+}
+
+func (az *AZ) addHost(kind cpu.Kind, arch cpu.Arch, slots int) *Host {
+	az.hostSeq++
+	h := &Host{
+		id:    fmt.Sprintf("vm-%s-%d", az.spec.Name, az.hostSeq),
+		kind:  kind,
+		arch:  arch,
+		slots: slots,
+	}
+	if arch == cpu.ARM {
+		az.armHosts = append(az.armHosts, h)
+	} else {
+		az.hosts = append(az.hosts, h)
+	}
+	return h
+}
+
+func (az *AZ) drawKind(mix map[cpu.Kind]float64) cpu.Kind {
+	kinds, weights := mixSlices(mix)
+	if len(kinds) == 0 {
+		return cpu.Xeon25
+	}
+	return kinds[az.rand.WeightedChoice(weights)]
+}
+
+// deploy registers a function in this zone.
+func (az *AZ) deploy(name string, cfg DeployConfig) (*Deployment, error) {
+	if _, exists := az.deployments[name]; exists {
+		return nil, fmt.Errorf("cloudsim: deployment %q already exists in %s", name, az.spec.Name)
+	}
+	if cfg.MemoryMB <= 0 {
+		return nil, fmt.Errorf("cloudsim: deployment %q: non-positive memory", name)
+	}
+	arch := cfg.Arch
+	if arch == 0 {
+		arch = cpu.X86
+	}
+	d := &Deployment{
+		az:       az,
+		name:     name,
+		memoryMB: cfg.MemoryMB,
+		arch:     arch,
+		behavior: cfg.Behavior,
+		dynamic:  cfg.Dynamic,
+		codeHash: cfg.CodeHash,
+	}
+	az.deployments[name] = d
+	return d, nil
+}
+
+// acquireFI returns an instance to run one request on, reusing a warm
+// instance when available and otherwise placing a new one.
+func (az *AZ) acquireFI(dep *Deployment) (*FI, bool, error) {
+	// LIFO reuse: most recently released first, like real platforms.
+	for n := len(dep.warm); n > 0; n = len(dep.warm) {
+		fi := dep.warm[n-1]
+		dep.warm = dep.warm[:n-1]
+		if fi.destroyed || fi.busy {
+			continue
+		}
+		fi.busy = true
+		fi.idleGen++
+		return fi, false, nil
+	}
+	host := az.placeHost(dep.arch)
+	if host == nil {
+		az.maybeScaleUp()
+		return nil, false, ErrSaturated
+	}
+	host.used++
+	az.liveFIs++
+	az.fiSeq++
+	fi := &FI{
+		id:   fmt.Sprintf("fi-%s-%d", az.spec.Name, az.fiSeq),
+		host: host,
+		dep:  dep,
+		busy: true,
+	}
+	return fi, true, nil
+}
+
+// placeHost picks the host for a new instance with power-of-k-choices
+// packing: sample k random hosts with free capacity and take the most
+// occupied. Platforms bin-pack microVMs for utilization, but only
+// statistically — this policy clusters a poll's instances onto a subset of
+// hosts (which is why single polls misestimate a zone's mix, Fig. 5) while
+// still letting a retried request escape a host whose CPU was banned.
+func (az *AZ) placeHost(arch cpu.Arch) *Host {
+	pool := az.hosts
+	if arch == cpu.ARM {
+		pool = az.armHosts
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	const k = 4
+	var best *Host
+	found := 0
+	for tries := 0; tries < 6*k && found < k; tries++ {
+		h := pool[az.rand.Intn(len(pool))]
+		if h.used >= h.slots {
+			continue
+		}
+		found++
+		if best == nil || h.used > best.used {
+			best = h
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Near saturation random probes miss; fall back to a full scan.
+	for _, h := range pool {
+		if h.used < h.slots {
+			return h
+		}
+	}
+	return nil
+}
+
+// releaseFI returns an instance to the warm pool and arms its keep-alive
+// expiry.
+func (az *AZ) releaseFI(fi *FI) {
+	if fi.destroyed {
+		return
+	}
+	fi.busy = false
+	fi.uses++
+	fi.idleGen++
+	gen := fi.idleGen
+	fi.dep.warm = append(fi.dep.warm, fi)
+	az.cloud.env.Schedule(az.cloud.opts.KeepAlive, func() {
+		if fi.destroyed || fi.busy || fi.idleGen != gen {
+			return
+		}
+		az.destroyFI(fi)
+	})
+}
+
+func (az *AZ) destroyFI(fi *FI) {
+	if fi.destroyed {
+		return
+	}
+	fi.destroyed = true
+	fi.host.used--
+	az.liveFIs--
+}
+
+// contention returns the diurnal load factor at t: 1 at the quietest hour,
+// 1+ContentionAmp at the zone's peak hour ("the Night Shift" effect).
+func (az *AZ) contention(t time.Time) float64 {
+	if az.spec.ContentionAmp == 0 {
+		return 1
+	}
+	h := float64(t.UTC().Hour()) + float64(t.UTC().Minute())/60
+	phase := 2 * math.Pi * (h - float64(az.spec.PeakHourUTC)) / 24
+	return 1 + az.spec.ContentionAmp*(0.5+0.5*math.Cos(phase))
+}
+
+// driftDaily reprovisions the pool for a new day: the target mix takes a
+// random-walk step, a volatility-dependent fraction of idle hosts is
+// replaced with hosts drawn from the new target, and total capacity
+// jitters. Stable zones (sa-east-1a, eu-north-1a) barely move; volatile
+// zones (ca-central-1a, us-west-1*) can shift 20-50% in a day (§4.4).
+func (az *AZ) driftDaily() {
+	az.scaleUpUsed = false
+	if az.spec.MixWalk > 0 {
+		az.walkTargetMix(az.spec.MixWalk)
+	}
+	if az.spec.DailyDrift > 0 {
+		frac := az.spec.DailyDrift * (0.5 + az.rand.Float64())
+		az.replaceIdleHosts(frac)
+	}
+	if az.spec.CapJitter > 0 {
+		az.jitterCapacity()
+	}
+}
+
+// driftHourly applies intra-day churn for zones with hourly volatility
+// (us-west-1b in the paper's Fig. 8): small continuous replacement with
+// occasional large excursions. Excursions draw from a transient perturbed
+// mix and do not move the zone's target, so the zone snaps back within
+// hours — matching Fig. 8's 22-of-24 hours near the baseline.
+func (az *AZ) driftHourly() {
+	if az.spec.HourlyDrift <= 0 {
+		return
+	}
+	if az.rand.Bool(0.08) {
+		az.excursion()
+		return
+	}
+	az.replaceIdleHosts(az.spec.HourlyDrift)
+}
+
+// excursion swaps a sizeable chunk of the pool to a perturbed mix for
+// roughly an hour, then restores the swapped hosts — the short-lived
+// capacity reshuffles behind Fig. 8's isolated bad hours.
+func (az *AZ) excursion() {
+	perturbed := walkMix(az.rand, az.targetMix, 3*az.spec.MixWalk)
+	type swap struct {
+		host *Host
+		kind cpu.Kind
+	}
+	var swapped []swap
+	for _, h := range az.hosts {
+		if h.used == 0 && az.rand.Bool(0.35) {
+			swapped = append(swapped, swap{host: h, kind: h.kind})
+			h.kind = az.drawKind(perturbed)
+		}
+	}
+	az.cloud.env.Schedule(55*time.Minute, func() {
+		for _, s := range swapped {
+			if s.host.used == 0 {
+				s.host.kind = s.kind
+			}
+		}
+	})
+}
+
+// walkTargetMix takes a mean-reverting random-walk step: shares are
+// perturbed log-normally, then pulled back toward the day-0 mix. Reversion
+// keeps volatile zones fluctuating (the paper's 20-50% day-over-day APE)
+// without collapsing onto a single CPU type over long horizons.
+func (az *AZ) walkTargetMix(step float64) {
+	walked := walkMix(az.rand, az.targetMix, step)
+	const reversion = 0.15
+	next := make(map[cpu.Kind]float64, len(az.baseMix))
+	for _, k := range cpu.Kinds() { // stable order: map iteration would
+		base, ok := az.baseMix[k] // randomize float rounding per process
+		if !ok {
+			continue
+		}
+		next[k] = (1-reversion)*walked[k] + reversion*base
+	}
+	az.targetMix = normalizeMix(next)
+}
+
+// walkMix perturbs each share log-normally. Iteration follows the catalog
+// order, never Go's randomized map order: each share must receive the same
+// RNG draw on every run for replays to be bit-identical.
+func walkMix(rand *rng.Stream, mix map[cpu.Kind]float64, step float64) map[cpu.Kind]float64 {
+	next := make(map[cpu.Kind]float64, len(mix))
+	for _, k := range cpu.Kinds() {
+		share, ok := mix[k]
+		if !ok {
+			continue
+		}
+		next[k] = share * rand.LogNorm(0, step)
+	}
+	return normalizeMix(next)
+}
+
+func (az *AZ) replaceIdleHosts(frac float64) {
+	az.replaceIdleHostsFrom(frac, az.targetMix)
+}
+
+func (az *AZ) replaceIdleHostsFrom(frac float64, mix map[cpu.Kind]float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	for _, h := range az.hosts {
+		if h.used == 0 && az.rand.Bool(frac) {
+			h.kind = az.drawKind(mix)
+		}
+	}
+}
+
+func (az *AZ) jitterCapacity() {
+	target := int(az.rand.Jitter(float64(az.baseHosts), az.spec.CapJitter))
+	if target < 1 {
+		target = 1
+	}
+	hostFIs := az.spec.hostFIs()
+	for len(az.hosts) < target {
+		az.addHost(az.drawKind(az.targetMix), cpu.X86, hostFIs)
+	}
+	// Shrink by removing empty hosts only.
+	for i := len(az.hosts) - 1; i >= 0 && len(az.hosts) > target; i-- {
+		if az.hosts[i].used == 0 {
+			az.hosts = append(az.hosts[:i], az.hosts[i+1:]...)
+		}
+	}
+}
+
+// maybeScaleUp models the platform slowly reacting to saturation: once per
+// day, a zone with a reserve pool brings additional hosts online shortly
+// after capacity is exhausted. Zones whose reserve mix differs from their
+// target mix are the ones EX-3 saw "anomalous spikes" from — the late
+// hosts reveal previously unseen hardware.
+func (az *AZ) maybeScaleUp() {
+	if az.scaleUpUsed || az.spec.ReserveFrac <= 0 {
+		return
+	}
+	az.scaleUpUsed = true
+	mix := az.targetMix
+	if len(az.spec.ReserveMix) > 0 {
+		mix = normalizeMix(az.spec.ReserveMix)
+	}
+	count := int(float64(az.baseHosts) * az.spec.ReserveFrac)
+	if count < 1 {
+		count = 1
+	}
+	hostFIs := az.spec.hostFIs()
+	az.cloud.env.Schedule(az.cloud.opts.ScaleUpDelay, func() {
+		for i := 0; i < count; i++ {
+			az.addHost(az.drawKind(mix), cpu.X86, hostFIs)
+		}
+	})
+}
+
+// normalizeMix returns mix scaled to sum to 1, dropping non-positive
+// entries. Summation follows the catalog order so floating-point rounding
+// is identical on every run.
+func normalizeMix(mix map[cpu.Kind]float64) map[cpu.Kind]float64 {
+	out := make(map[cpu.Kind]float64, len(mix))
+	var total float64
+	for _, k := range cpu.Kinds() {
+		if v := mix[k]; v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return out
+	}
+	for _, k := range cpu.Kinds() {
+		if v := mix[k]; v > 0 {
+			out[k] = v / total
+		}
+	}
+	return out
+}
+
+// mixSlices flattens a mix into parallel slices with a deterministic order.
+func mixSlices(mix map[cpu.Kind]float64) ([]cpu.Kind, []float64) {
+	kinds := make([]cpu.Kind, 0, len(mix))
+	for _, k := range cpu.Kinds() {
+		if mix[k] > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	weights := make([]float64, len(kinds))
+	for i, k := range kinds {
+		weights[i] = mix[k]
+	}
+	return kinds, weights
+}

@@ -1,0 +1,94 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// PriceModel is a FaaS platform's published rate card.
+type PriceModel struct {
+	// PerGBSecond is the compute price per GB-second of billed duration.
+	PerGBSecond float64
+	// PerRequest is the flat per-invocation price.
+	PerRequest float64
+	// GranularityMS is the billing rounding unit (1 ms on AWS Lambda).
+	GranularityMS float64
+}
+
+// defaultPrices carries each provider's published x86 rate card.
+func defaultPrices() map[Provider]PriceModel {
+	return map[Provider]PriceModel{
+		AWS: {PerGBSecond: 0.0000166667, PerRequest: 0.0000002, GranularityMS: 1},
+		IBM: {PerGBSecond: 0.000017, PerRequest: 0, GranularityMS: 100},
+		DO:  {PerGBSecond: 0.0000185, PerRequest: 0, GranularityMS: 1},
+	}
+}
+
+// Cost computes the charge for one invocation of memoryMB at runtimeMS.
+func (p PriceModel) Cost(memoryMB int, runtimeMS float64) float64 {
+	if runtimeMS < 0 {
+		runtimeMS = 0
+	}
+	billed := runtimeMS
+	if p.GranularityMS > 0 {
+		billed = math.Ceil(runtimeMS/p.GranularityMS) * p.GranularityMS
+	}
+	gb := float64(memoryMB) / 1024
+	return gb*(billed/1000)*p.PerGBSecond + p.PerRequest
+}
+
+// Meter accumulates spend, grouped by a caller-chosen label (experiment
+// phase, policy name, account). Meters are safe for concurrent use so the
+// live-paced examples can share one across goroutines.
+type Meter struct {
+	mu       sync.Mutex
+	byLabel  map[string]float64
+	requests map[string]int
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{
+		byLabel:  make(map[string]float64),
+		requests: make(map[string]int),
+	}
+}
+
+// Charge records cost under label.
+func (m *Meter) Charge(label string, cost float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byLabel[label] += cost
+	m.requests[label]++
+}
+
+// Total returns the cumulative spend under label.
+func (m *Meter) Total(label string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byLabel[label]
+}
+
+// Requests returns the number of charges recorded under label.
+func (m *Meter) Requests(label string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[label]
+}
+
+// GrandTotal returns spend across every label.
+func (m *Meter) GrandTotal() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	for _, v := range m.byLabel {
+		sum += v
+	}
+	return sum
+}
+
+// String renders the grand total.
+func (m *Meter) String() string {
+	return fmt.Sprintf("$%.4f", m.GrandTotal())
+}

@@ -1,0 +1,231 @@
+package cloudsim
+
+import (
+	"math"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+)
+
+// This file encodes the default world: the 41 regions the paper profiled
+// (29 on AWS Lambda, 8 on IBM Code Engine, 4 on DigitalOcean Functions)
+// with day-0 CPU mixes, pool sizes, and temporal personalities calibrated
+// to the facts reported in §4 (see DESIGN.md §4 for the list).
+
+// mix builds an AWS x86 CPU mix from the four Lambda processor shares.
+func mix(x25, x29, x30, epyc float64) map[cpu.Kind]float64 {
+	m := make(map[cpu.Kind]float64, 4)
+	if x25 > 0 {
+		m[cpu.Xeon25] = x25
+	}
+	if x29 > 0 {
+		m[cpu.Xeon29] = x29
+	}
+	if x30 > 0 {
+		m[cpu.Xeon30] = x30
+	}
+	if epyc > 0 {
+		m[cpu.EPYC] = epyc
+	}
+	return m
+}
+
+// peakHourUTC maps a local 14:00 demand peak to UTC by longitude.
+func peakHourUTC(lon float64) int {
+	h := math.Mod(14-lon/15, 24)
+	if h < 0 {
+		h += 24
+	}
+	return int(h)
+}
+
+// Temporal personality presets (DailyDrift, MixWalk).
+const (
+	stableDrift, stableWalk     = 0.02, 0.02
+	moderateDrift, moderateWalk = 0.08, 0.06
+	volatileDrift, volatileWalk = 0.80, 0.50
+)
+
+// awsAZ returns an AWS zone spec with the standard personality applied.
+func awsAZ(name string, pool int, m map[cpu.Kind]float64, drift, walk float64, lon float64) AZSpec {
+	return AZSpec{
+		Name:          name,
+		PoolFIs:       pool,
+		ArmPoolFIs:    2048,
+		Mix:           m,
+		ReserveFrac:   0.06,
+		DailyDrift:    drift,
+		MixWalk:       walk,
+		CapJitter:     0.10,
+		ContentionAmp: 0.06,
+		PeakHourUTC:   peakHourUTC(lon),
+	}
+}
+
+// stable marks a temporally quiet zone: little capacity churn and a flat
+// diurnal load curve (sa-east-1a, eu-north-1a, us-east-2a in the paper).
+func stable(s AZSpec) AZSpec {
+	s.CapJitter = 0.04
+	s.ContentionAmp = 0.04
+	return s
+}
+
+// hot marks a heavily shared zone: pronounced diurnal contention on top of
+// its volatile hardware churn (the us-west-1 zones, ca-central-1a).
+func hot(s AZSpec) AZSpec {
+	s.ContentionAmp = 0.08
+	return s
+}
+
+func smallAZ(name string, provider Provider, pool int, m map[cpu.Kind]float64, lon float64) AZSpec {
+	_ = provider
+	return AZSpec{
+		Name:          name,
+		PoolFIs:       pool,
+		HostFIs:       64,
+		Mix:           m,
+		ReserveFrac:   0.05,
+		DailyDrift:    0.05,
+		MixWalk:       0.03,
+		CapJitter:     0.08,
+		ContentionAmp: 0.05,
+		PeakHourUTC:   peakHourUTC(lon),
+	}
+}
+
+// DefaultCatalog returns the full 41-region default world.
+func DefaultCatalog() []RegionSpec {
+	aws := func(name string, lat, lon float64, azs ...AZSpec) RegionSpec {
+		return RegionSpec{Provider: AWS, Name: name, Loc: geo.Coord{Lat: lat, Lon: lon}, AZs: azs}
+	}
+	ibm := func(name string, lat, lon float64, m map[cpu.Kind]float64) RegionSpec {
+		return RegionSpec{Provider: IBM, Name: name, Loc: geo.Coord{Lat: lat, Lon: lon},
+			AZs: []AZSpec{smallAZ(name+"-a", IBM, 3072, m, lon)}}
+	}
+	do := func(name string, lat, lon float64, m map[cpu.Kind]float64) RegionSpec {
+		return RegionSpec{Provider: DO, Name: name, Loc: geo.Coord{Lat: lat, Lon: lon},
+			AZs: []AZSpec{smallAZ(name+"-a", DO, 1536, m, lon)}}
+	}
+
+	ibmMix := func(c24, c25 float64) map[cpu.Kind]float64 {
+		return map[cpu.Kind]float64{cpu.IBMCascade24: c24, cpu.IBMCascade25: c25}
+	}
+	doMix := func(x26, x27 float64) map[cpu.Kind]float64 {
+		return map[cpu.Kind]float64{cpu.DOXeon26: x26, cpu.DOXeon27: x27}
+	}
+
+	catalog := []RegionSpec{
+		// ----- AWS Lambda: 29 regions -----
+		aws("us-east-1", 38.9, -77.4,
+			awsAZ("us-east-1a", 40000, mix(0.55, 0.15, 0.27, 0.03), moderateDrift, moderateWalk, -77.4),
+			awsAZ("us-east-1b", 38000, mix(0.50, 0.18, 0.30, 0.02), moderateDrift, moderateWalk, -77.4),
+			awsAZ("us-east-1c", 36000, mix(0.58, 0.12, 0.28, 0.02), moderateDrift, moderateWalk, -77.4)),
+		aws("us-east-2", 40.0, -83.0,
+			// us-east-2a runs exclusively on the 2.5 GHz Xeon — the
+			// zero-error zone of EX-3.
+			stable(awsAZ("us-east-2a", 18000, mix(1, 0, 0, 0), stableDrift, 0, -83.0)),
+			// us-east-2b has coarse placement granularity (big hosts) and a
+			// diverse mix: the worst single-poll error (~25%) in EX-3.
+			func() AZSpec {
+				s := awsAZ("us-east-2b", 20000, mix(0.45, 0.20, 0.25, 0.10), moderateDrift, moderateWalk, -83.0)
+				s.HostFIs = 1200
+				return s
+			}(),
+			awsAZ("us-east-2c", 16000, mix(0.75, 0, 0.20, 0.05), moderateDrift, moderateWalk, -83.0)),
+		aws("us-west-1", 37.4, -122.0,
+			hot(awsAZ("us-west-1a", 24000, mix(0.50, 0.15, 0.30, 0.05), volatileDrift, volatileWalk, -122.0)),
+			func() AZSpec {
+				s := hot(awsAZ("us-west-1b", 22000, mix(0.36, 0.19, 0.32, 0.13), volatileDrift, volatileWalk, -122.0))
+				s.HourlyDrift = 0.01
+				return s
+			}()),
+		aws("us-west-2", 45.9, -119.3,
+			// 3.0 GHz most prevalent here (§4.2).
+			awsAZ("us-west-2a", 30000, mix(0.35, 0.18, 0.45, 0.02), moderateDrift, moderateWalk, -119.3),
+			awsAZ("us-west-2b", 28000, mix(0.38, 0.15, 0.44, 0.03), moderateDrift, moderateWalk, -119.3)),
+		aws("ca-central-1", 45.5, -73.6,
+			hot(awsAZ("ca-central-1a", 14000, mix(0.50, 0.30, 0.20, 0), volatileDrift, volatileWalk, -73.6))),
+		aws("ca-west-1", 51.0, -114.1,
+			awsAZ("ca-west-1a", 8000, mix(0.70, 0.10, 0.20, 0), moderateDrift, moderateWalk, -114.1)),
+		aws("sa-east-1", -23.5, -46.6,
+			stable(awsAZ("sa-east-1a", 16000, mix(0.55, 0.08, 0.37, 0), stableDrift, stableWalk, -46.6))),
+		aws("eu-west-1", 53.3, -6.3,
+			awsAZ("eu-west-1a", 28000, mix(0.52, 0.16, 0.30, 0.02), moderateDrift, moderateWalk, -6.3),
+			awsAZ("eu-west-1b", 26000, mix(0.56, 0.14, 0.28, 0.02), moderateDrift, moderateWalk, -6.3)),
+		aws("eu-west-2", 51.5, -0.1,
+			awsAZ("eu-west-2a", 20000, mix(0.60, 0.12, 0.26, 0.02), moderateDrift, moderateWalk, -0.1)),
+		aws("eu-west-3", 48.9, 2.4,
+			awsAZ("eu-west-3a", 14000, mix(0.62, 0.14, 0.24, 0), moderateDrift, moderateWalk, 2.4)),
+		aws("eu-central-1", 50.1, 8.7,
+			// The long-runway zone of EX-3: ~10x eu-north-1a's capacity.
+			awsAZ("eu-central-1a", 48000, mix(0.55, 0.15, 0.30, 0), moderateDrift, moderateWalk, 8.7)),
+		aws("eu-central-2", 47.4, 8.5,
+			awsAZ("eu-central-2a", 9000, mix(0.66, 0.10, 0.24, 0), moderateDrift, moderateWalk, 8.5)),
+		aws("eu-north-1", 59.3, 18.1,
+			// Small pool: fails after ~5k calls in EX-3; temporally stable.
+			func() AZSpec {
+				s := stable(awsAZ("eu-north-1a", 5000, mix(0.70, 0, 0.30, 0), stableDrift, stableWalk, 18.1))
+				s.HostFIs = 64 // small pool, fine-grained hosts
+				return s
+			}()),
+		aws("eu-south-1", 45.5, 9.2,
+			awsAZ("eu-south-1a", 8000, mix(0.64, 0.12, 0.24, 0), moderateDrift, moderateWalk, 9.2)),
+		aws("eu-south-2", 41.6, -0.9,
+			awsAZ("eu-south-2a", 7000, mix(0.68, 0.08, 0.24, 0), moderateDrift, moderateWalk, -0.9)),
+		aws("af-south-1", -33.9, 18.4,
+			// The only region without the 3.0 GHz Xeon (§4.2).
+			awsAZ("af-south-1a", 6000, mix(0.80, 0.20, 0, 0), moderateDrift, moderateWalk, 18.4)),
+		aws("ap-east-1", 22.3, 114.2,
+			awsAZ("ap-east-1a", 9000, mix(0.60, 0.16, 0.24, 0), moderateDrift, moderateWalk, 114.2)),
+		aws("ap-south-1", 19.1, 72.9,
+			awsAZ("ap-south-1a", 26000, mix(0.58, 0.14, 0.26, 0.02), moderateDrift, moderateWalk, 72.9)),
+		aws("ap-south-2", 17.4, 78.5,
+			awsAZ("ap-south-2a", 8000, mix(0.70, 0.06, 0.24, 0), moderateDrift, moderateWalk, 78.5)),
+		aws("ap-northeast-1", 35.7, 139.7,
+			awsAZ("ap-northeast-1a", 30000, mix(0.60, 0.15, 0.20, 0.05), moderateDrift, moderateWalk, 139.7),
+			awsAZ("ap-northeast-1b", 26000, mix(0.62, 0.13, 0.22, 0.03), moderateDrift, moderateWalk, 139.7)),
+		aws("ap-northeast-2", 37.6, 127.0,
+			awsAZ("ap-northeast-2a", 18000, mix(0.58, 0.16, 0.26, 0), moderateDrift, moderateWalk, 127.0)),
+		aws("ap-northeast-3", 34.7, 135.5,
+			awsAZ("ap-northeast-3a", 9000, mix(0.68, 0.08, 0.24, 0), moderateDrift, moderateWalk, 135.5)),
+		aws("ap-southeast-1", 1.3, 103.8,
+			awsAZ("ap-southeast-1a", 24000, mix(0.56, 0.16, 0.26, 0.02), moderateDrift, moderateWalk, 103.8)),
+		aws("ap-southeast-2", -33.9, 151.2,
+			// Reserve pool with hardware unseen in the day-0 mix: the
+			// anomalous-spike zone of EX-3.
+			func() AZSpec {
+				s := awsAZ("ap-southeast-2a", 20000, mix(0.60, 0.15, 0.25, 0), moderateDrift, moderateWalk, 151.2)
+				s.ReserveMix = mix(0.20, 0.10, 0.20, 0.50)
+				s.ReserveFrac = 0.12
+				return s
+			}()),
+		aws("ap-southeast-3", -6.2, 106.8,
+			awsAZ("ap-southeast-3a", 10000, mix(0.66, 0.10, 0.24, 0), moderateDrift, moderateWalk, 106.8)),
+		aws("ap-southeast-4", -37.8, 145.0,
+			awsAZ("ap-southeast-4a", 7000, mix(0.72, 0.06, 0.22, 0), moderateDrift, moderateWalk, 145.0)),
+		aws("me-south-1", 26.1, 50.6,
+			awsAZ("me-south-1a", 7000, mix(0.66, 0.10, 0.24, 0), moderateDrift, moderateWalk, 50.6)),
+		aws("me-central-1", 24.5, 54.4,
+			awsAZ("me-central-1a", 8000, mix(0.64, 0.10, 0.26, 0), moderateDrift, moderateWalk, 54.4)),
+		aws("il-central-1", 32.1, 34.8,
+			// The AMD EPYC stronghold (§4.2).
+			awsAZ("il-central-1a", 9000, mix(0.50, 0.10, 0.25, 0.15), moderateDrift, moderateWalk, 34.8)),
+
+		// ----- IBM Code Engine: 8 regions -----
+		ibm("us-south", 32.8, -96.8, ibmMix(0.55, 0.45)),
+		ibm("us-east", 38.9, -77.0, ibmMix(0.50, 0.50)),
+		ibm("eu-de", 50.1, 8.7, ibmMix(0.40, 0.60)),
+		ibm("eu-gb", 51.5, -0.1, ibmMix(0.52, 0.48)),
+		ibm("eu-es", 40.4, -3.7, ibmMix(0.60, 0.40)),
+		ibm("jp-tok", 35.7, 139.7, ibmMix(0.45, 0.55)),
+		ibm("jp-osa", 34.7, 135.5, ibmMix(0.58, 0.42)),
+		ibm("au-syd", -33.9, 151.2, ibmMix(0.50, 0.50)),
+
+		// ----- DigitalOcean Functions: 4 regions -----
+		do("nyc1", 40.7, -74.0, doMix(0.55, 0.45)),
+		do("sfo3", 37.8, -122.4, doMix(0.50, 0.50)),
+		do("ams3", 52.4, 4.9, doMix(0.60, 0.40)),
+		do("blr1", 13.0, 77.6, doMix(0.48, 0.52)),
+	}
+	return catalog
+}

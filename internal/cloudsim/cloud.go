@@ -1,0 +1,546 @@
+// Package cloudsim is the simulated sky: a deterministic discrete-event
+// model of multiple FaaS providers, their regions and availability zones,
+// the finite heterogeneous host pools behind them, and the function-
+// instance lifecycle the paper's sampling technique exploits.
+//
+// See DESIGN.md §2 for the substitution argument: the phenomena the paper
+// measures on live clouds (CPU heterogeneity, keep-alive, saturation,
+// temporal drift, GB-second billing) are reproduced here as explicit
+// mechanisms, so the sampling/characterization/routing stack above runs
+// unmodified against either.
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/rng"
+	"skyfaas/internal/saaf"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// Provider is a FaaS platform operator.
+type Provider int
+
+// The providers the paper's sky mesh spans.
+const (
+	AWS Provider = iota + 1
+	IBM
+	DO
+)
+
+// String returns the provider's display name.
+func (p Provider) String() string {
+	switch p {
+	case AWS:
+		return "aws-lambda"
+	case IBM:
+		return "ibm-code-engine"
+	case DO:
+		return "do-functions"
+	default:
+		return fmt.Sprintf("Provider(%d)", int(p))
+	}
+}
+
+// RegionSpec statically describes a region: who operates it, where it is,
+// and the zones it contains.
+type RegionSpec struct {
+	Provider Provider
+	Name     string
+	Loc      geo.Coord
+	AZs      []AZSpec
+}
+
+// AZSpec statically describes one availability zone's provisioned pool and
+// its temporal personality.
+type AZSpec struct {
+	Name string
+	// PoolFIs is the day-0 x86 capacity in function-instance slots.
+	PoolFIs int
+	// ArmPoolFIs is the Graviton capacity (0 for providers without arm64).
+	ArmPoolFIs int
+	// HostFIs is the FI capacity per host (0 = default 128). Larger hosts
+	// make single polls see fewer machines and so raise single-poll error.
+	HostFIs int
+	// Mix is the day-0 CPU distribution over x86 hosts.
+	Mix map[cpu.Kind]float64
+	// ReserveMix, with ReserveFrac, models the slow scale-up reaction to
+	// saturation; a reserve mix different from Mix produces EX-3's
+	// "previously unseen hardware" anomaly.
+	ReserveMix  map[cpu.Kind]float64
+	ReserveFrac float64
+	// DailyDrift is the fraction of idle hosts re-drawn each day.
+	DailyDrift float64
+	// MixWalk is the random-walk step of the daily target-mix drift.
+	MixWalk float64
+	// HourlyDrift enables intra-day churn (us-west-1b's Fig.-8 behaviour).
+	HourlyDrift float64
+	// CapJitter is the daily capacity jitter fraction.
+	CapJitter float64
+	// ContentionAmp and PeakHourUTC shape the diurnal load factor.
+	ContentionAmp float64
+	PeakHourUTC   int
+}
+
+// Region is the live counterpart of a RegionSpec.
+type Region struct {
+	spec RegionSpec
+	azs  []*AZ
+}
+
+// Spec returns the region's static description.
+func (r *Region) Spec() RegionSpec { return r.spec }
+
+// Name returns the region name.
+func (r *Region) Name() string { return r.spec.Name }
+
+// Provider returns the operating provider.
+func (r *Region) Provider() Provider { return r.spec.Provider }
+
+// Loc returns the region's coordinates.
+func (r *Region) Loc() geo.Coord { return r.spec.Loc }
+
+// AZs returns the region's zones in catalog order.
+func (r *Region) AZs() []*AZ {
+	out := make([]*AZ, len(r.azs))
+	copy(out, r.azs)
+	return out
+}
+
+// Options tune platform mechanics. The zero value is completed by defaults.
+type Options struct {
+	// KeepAlive is how long an idle instance persists (5 min on Lambda).
+	KeepAlive time.Duration
+	// Quota is the per-account, per-region concurrent execution limit.
+	Quota int
+	// ColdStartMS / ColdStartSigma parameterize the lognormal cold-start
+	// initialization delay (unbilled, like managed-runtime init).
+	ColdStartMS    float64
+	ColdStartSigma float64
+	// OverheadMS is the fixed per-invocation platform overhead (billed).
+	OverheadMS float64
+	// IntraCloudRTT is the round trip for requests without a client
+	// location (function-to-function within a zone).
+	IntraCloudRTT time.Duration
+	// ScaleUpDelay is how long the platform takes to bring reserve hosts
+	// online after saturation.
+	ScaleUpDelay time.Duration
+	// HorizonDays bounds the pre-scheduled drift timeline.
+	HorizonDays int
+	// Latency is the client-to-region RTT model.
+	Latency geo.LatencyModel
+	// OnResponse, when set, observes every response as it is delivered to
+	// its caller — the platform-side tap for logging and tracing. It runs
+	// inside the simulation and must not block.
+	OnResponse func(Request, Response)
+}
+
+func (o Options) withDefaults() Options {
+	if o.KeepAlive == 0 {
+		o.KeepAlive = 5 * time.Minute
+	}
+	if o.Quota == 0 {
+		o.Quota = 1000
+	}
+	if o.ColdStartMS == 0 {
+		o.ColdStartMS = 140
+	}
+	if o.ColdStartSigma == 0 {
+		o.ColdStartSigma = 0.25
+	}
+	if o.OverheadMS == 0 {
+		o.OverheadMS = 1.5
+	}
+	if o.IntraCloudRTT == 0 {
+		o.IntraCloudRTT = 2 * time.Millisecond
+	}
+	if o.ScaleUpDelay == 0 {
+		o.ScaleUpDelay = 25 * time.Second
+	}
+	if o.HorizonDays == 0 {
+		o.HorizonDays = 30
+	}
+	if o.Latency == (geo.LatencyModel{}) {
+		o.Latency = geo.DefaultLatencyModel()
+	}
+	return o
+}
+
+// Cloud is the simulated multi-provider sky.
+type Cloud struct {
+	env      *sim.Env
+	root     *rng.Stream
+	opts     Options
+	regions  []*Region
+	regionBy map[string]*Region
+	azBy     map[string]*AZ
+	prices   map[Provider]PriceModel
+	inflight map[string]int
+	meter    *Meter
+	latRand  *rng.Stream
+}
+
+// New builds a cloud over env from the given catalog. A nil or empty
+// catalog means the full 41-region default world.
+func New(env *sim.Env, seed uint64, catalog []RegionSpec, opts Options) *Cloud {
+	if len(catalog) == 0 {
+		catalog = DefaultCatalog()
+	}
+	c := &Cloud{
+		env:      env,
+		root:     rng.New(seed).Split("cloud"),
+		opts:     opts.withDefaults(),
+		regionBy: make(map[string]*Region, len(catalog)),
+		azBy:     make(map[string]*AZ),
+		prices:   defaultPrices(),
+		inflight: make(map[string]int),
+		meter:    NewMeter(),
+	}
+	c.latRand = c.root.Split("latency")
+	for _, rs := range catalog {
+		region := &Region{spec: rs}
+		for _, azSpec := range rs.AZs {
+			az := newAZ(c, region, azSpec)
+			region.azs = append(region.azs, az)
+			c.azBy[azSpec.Name] = az
+		}
+		c.regions = append(c.regions, region)
+		c.regionBy[rs.Name] = region
+	}
+	c.scheduleDrift()
+	return c
+}
+
+// scheduleDrift lays out the bounded drift timeline so Env.Run terminates.
+func (c *Cloud) scheduleDrift() {
+	for _, region := range c.regions {
+		for _, az := range region.azs {
+			az := az
+			for day := 1; day <= c.opts.HorizonDays; day++ {
+				c.env.Schedule(time.Duration(day)*24*time.Hour, az.driftDaily)
+			}
+			if az.spec.HourlyDrift > 0 {
+				hours := c.opts.HorizonDays * 24
+				for h := 1; h <= hours; h++ {
+					c.env.Schedule(time.Duration(h)*time.Hour, az.driftHourly)
+				}
+			}
+		}
+	}
+}
+
+// Env returns the simulation environment the cloud runs on.
+func (c *Cloud) Env() *sim.Env { return c.env }
+
+// Meter returns the cloud-wide billing meter (charged per account).
+func (c *Cloud) Meter() *Meter { return c.meter }
+
+// Options returns the effective platform options.
+func (c *Cloud) Options() Options { return c.opts }
+
+// Price returns the rate card of a provider.
+func (c *Cloud) Price(p Provider) PriceModel { return c.prices[p] }
+
+// Regions returns all regions in catalog order.
+func (c *Cloud) Regions() []*Region {
+	out := make([]*Region, len(c.regions))
+	copy(out, c.regions)
+	return out
+}
+
+// Region returns a region by name.
+func (c *Cloud) Region(name string) (*Region, bool) {
+	r, ok := c.regionBy[name]
+	return r, ok
+}
+
+// AZ returns a zone by name.
+func (c *Cloud) AZ(name string) (*AZ, bool) {
+	az, ok := c.azBy[name]
+	return az, ok
+}
+
+// DeployConfig configures a function deployment.
+type DeployConfig struct {
+	MemoryMB int
+	Arch     cpu.Arch
+	Behavior Behavior
+	// Dynamic marks the deployment as a dynamic function: invocations may
+	// carry a Work override in the request (§3.2).
+	Dynamic  bool
+	CodeHash string
+}
+
+// Deploy creates a function deployment in the named zone.
+func (c *Cloud) Deploy(azName, fnName string, cfg DeployConfig) (*Deployment, error) {
+	az, ok := c.azBy[azName]
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: unknown AZ %q", azName)
+	}
+	return az.deploy(fnName, cfg)
+}
+
+// Request is one function invocation.
+type Request struct {
+	// Account owns the invocation for quota and billing purposes.
+	Account string
+	// AZ and Function address the deployment.
+	AZ       string
+	Function string
+	// Work optionally overrides the deployment behavior; allowed only for
+	// dynamic deployments.
+	Work Behavior
+	// PayloadHash keys the dynamic-function per-instance cache.
+	PayloadHash string
+	// ClientLoc, when set, applies geographic network latency; nil means
+	// an intra-cloud call.
+	ClientLoc *geo.Coord
+}
+
+// Response is the outcome of an invocation.
+type Response struct {
+	// Err is nil on success; ErrThrottled / ErrSaturated / ... otherwise.
+	Err error
+	// FI / Host / CPU identify where the request ran.
+	FI   string
+	Host string
+	CPU  cpu.Kind
+	// Cold reports a cold start.
+	Cold bool
+	// PayloadCached reports the dynamic-function cache already held the
+	// request's payload hash.
+	PayloadCached bool
+	// Sent / Started / Ended are virtual timestamps (request issue, handler
+	// start, handler end).
+	Sent    time.Time
+	Started time.Time
+	Ended   time.Time
+	// BilledMS is the billed duration; CostUSD the resulting charge.
+	BilledMS float64
+	CostUSD  float64
+	// Profile is the SAAF report attached to successful responses.
+	Profile saaf.Report
+	// Value carries a handler's return value (nil for fast-path behaviors).
+	Value any
+}
+
+// OK reports success.
+func (r Response) OK() bool { return r.Err == nil }
+
+// call pairs a request with its completion callback while in flight.
+type call struct {
+	req  Request
+	done func(Response)
+}
+
+// Invoke performs a blocking invocation from a client or handler process.
+func (c *Cloud) Invoke(p *sim.Proc, req Request) Response {
+	ev := sim.NewEvent(c.env)
+	c.StartInvoke(req, func(r Response) { ev.Trigger(r) })
+	v := p.Wait(ev)
+	r, ok := v.(Response)
+	if !ok {
+		return Response{Err: ErrBadRequest}
+	}
+	return r
+}
+
+// StartInvoke performs an asynchronous invocation; done runs when the
+// response arrives back at the caller (network latency included both ways).
+func (c *Cloud) StartInvoke(req Request, done func(Response)) {
+	sent := c.env.Now()
+	oneWay := c.oneWayLatency(req)
+	c.env.Schedule(oneWay, func() {
+		c.arrive(call{req: req, done: done}, sent, oneWay)
+	})
+}
+
+func (c *Cloud) oneWayLatency(req Request) time.Duration {
+	if req.ClientLoc == nil {
+		return c.opts.IntraCloudRTT / 2
+	}
+	az, ok := c.azBy[req.AZ]
+	if !ok {
+		return c.opts.IntraCloudRTT / 2
+	}
+	return c.opts.Latency.RTT(*req.ClientLoc, az.region.spec.Loc, c.latRand) / 2
+}
+
+func (c *Cloud) respond(cl call, oneWay time.Duration, resp Response) {
+	if c.opts.OnResponse != nil {
+		c.opts.OnResponse(cl.req, resp)
+	}
+	c.env.Schedule(oneWay, func() { cl.done(resp) })
+}
+
+func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
+	req := cl.req
+	az, ok := c.azBy[req.AZ]
+	if !ok {
+		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: AZ %q", ErrNoSuchDeployment, req.AZ), Sent: sent})
+		return
+	}
+	dep, ok := az.deployments[req.Function]
+	if !ok {
+		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: %s/%s", ErrNoSuchDeployment, req.AZ, req.Function), Sent: sent})
+		return
+	}
+	behavior := dep.behavior
+	if req.Work != nil {
+		if !dep.dynamic {
+			c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: work override on non-dynamic deployment", ErrBadRequest), Sent: sent})
+			return
+		}
+		behavior = req.Work
+	}
+	if behavior == nil {
+		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: deployment has no behavior", ErrBadRequest), Sent: sent})
+		return
+	}
+
+	quotaKey := req.Account + "|" + az.region.spec.Name
+	if c.inflight[quotaKey] >= c.opts.Quota {
+		c.respond(cl, oneWay, Response{Err: ErrThrottled, Sent: sent})
+		return
+	}
+	fi, cold, err := az.acquireFI(dep)
+	if err != nil {
+		c.respond(cl, oneWay, Response{Err: err, Sent: sent})
+		return
+	}
+	c.inflight[quotaKey]++
+
+	initDelay := time.Duration(c.opts.OverheadMS * float64(time.Millisecond) / 2)
+	if cold {
+		ms := az.rand.LogNorm(0, c.opts.ColdStartSigma) * c.opts.ColdStartMS
+		// Init runs on the CPU share the memory setting grants, so
+		// low-memory deployments cold-start slower (this is why Fig. 3's
+		// smaller memory settings need longer sleeps for full coverage).
+		ms *= initMemoryFactor(dep.memoryMB)
+		initDelay += time.Duration(ms * float64(time.Millisecond))
+	}
+
+	cached := false
+	if req.PayloadHash != "" {
+		cached = fi.cache != nil && hasHash(fi.cache, req.PayloadHash)
+		if !cached {
+			if fi.cache == nil {
+				fi.cache = make(map[string]struct{})
+			}
+			fi.cache[req.PayloadHash] = struct{}{}
+		}
+	}
+
+	finish := func(started time.Time, value any, handlerErr error) {
+		ended := c.env.Now()
+		billedMS := float64(ended.Sub(started)) / float64(time.Millisecond)
+		billedMS += c.opts.OverheadMS
+		price := c.prices[az.region.spec.Provider]
+		cost := price.Cost(dep.memoryMB, billedMS)
+		c.meter.Charge(req.Account, cost)
+		c.inflight[quotaKey]--
+		az.releaseFI(fi)
+
+		profile, perr := saaf.Collect(cpu.CPUInfo(fi.host.kind, dep.vcpus()), fi.id, fi.host.id, cold, billedMS)
+		respErr := handlerErr
+		if respErr == nil && perr != nil {
+			respErr = perr
+		}
+		c.respond(cl, oneWay, Response{
+			Err:           respErr,
+			FI:            fi.id,
+			Host:          fi.host.id,
+			CPU:           profile.Kind,
+			Cold:          cold,
+			PayloadCached: cached,
+			Sent:          sent,
+			Started:       started,
+			Ended:         ended,
+			BilledMS:      billedMS,
+			CostUSD:       cost,
+			Profile:       profile,
+			Value:         value,
+		})
+	}
+
+	c.env.Schedule(initDelay, func() {
+		started := c.env.Now()
+		switch b := behavior.(type) {
+		case SleepBehavior:
+			c.env.Schedule(b.D, func() { finish(started, nil, nil) })
+		case WorkBehavior:
+			dur := c.modelRuntime(az, dep, fi.host, b)
+			c.env.Schedule(dur, func() { finish(started, nil, nil) })
+		case ProbeBehavior:
+			if c.runProbe(cl, sent, oneWay, az, dep, fi, quotaKey, cold, cached, started, b) {
+				return // declined: probe path owns response and release
+			}
+			dur := c.modelRuntime(az, dep, fi.host, b.Work)
+			extra := time.Duration(probeDecisionMS * float64(time.Millisecond))
+			c.env.Schedule(dur+extra, func() {
+				finish(started, ProbeOutcome{Ran: true, RuntimeMS: float64(dur) / float64(time.Millisecond)}, nil)
+			})
+		case HandlerBehavior:
+			ctx := &Ctx{cloud: c, az: az, dep: dep, fi: fi, cold: cold}
+			c.env.Go("handler/"+dep.name, func(p *sim.Proc) error {
+				ctx.proc = p
+				value, herr := b.Fn(ctx, req)
+				finish(started, value, herr)
+				return nil
+			})
+		default:
+			finish(started, nil, fmt.Errorf("%w: unknown behavior %T", ErrBadRequest, behavior))
+		}
+	})
+}
+
+func hasHash(set map[string]struct{}, h string) bool {
+	_, ok := set[h]
+	return ok
+}
+
+// initMemoryFactor scales cold-start time by the CPU share a memory setting
+// grants: a 512 MB deployment initializes ~2x slower than a 2 GB one.
+func initMemoryFactor(memoryMB int) float64 {
+	if memoryMB <= 0 {
+		return 1
+	}
+	f := math.Sqrt(2048 / float64(memoryMB))
+	if f < 0.7 {
+		return 0.7
+	}
+	if f > 2.5 {
+		return 2.5
+	}
+	return f
+}
+
+// modelRuntime computes the simulated duration of workload w on host under
+// the deployment's memory setting and the zone's current contention.
+func (c *Cloud) modelRuntime(az *AZ, dep *Deployment, host *Host, w WorkBehavior) time.Duration {
+	spec, ok := workload.Get(w.Workload)
+	if !ok {
+		return time.Millisecond
+	}
+	ms := spec.BaseMS * w.scale()
+	ms *= spec.CPUFactor(host.kind)
+	ms *= spec.MemoryFactor(dep.memoryMB)
+	ms *= az.contention(c.env.Now())
+	ms *= az.rand.LogNorm(0, spec.NoiseFrac)
+	ms += w.ExtraMS
+	if ms < 0.1 {
+		ms = 0.1
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Inflight reports an account's current concurrent executions in a region
+// (exposed for tests).
+func (c *Cloud) Inflight(account, region string) int {
+	return c.inflight[account+"|"+region]
+}

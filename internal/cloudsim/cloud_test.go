@@ -1,0 +1,897 @@
+package cloudsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+var testEpoch = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// testWorld builds a single-region, single-AZ cloud for mechanism tests.
+func testWorld(t *testing.T, azSpec AZSpec, opts Options) (*sim.Env, *Cloud) {
+	t.Helper()
+	env := sim.NewEnv(testEpoch)
+	catalog := []RegionSpec{{
+		Provider: AWS,
+		Name:     "test-region",
+		Loc:      geo.Coord{Lat: 40, Lon: -80},
+		AZs:      []AZSpec{azSpec},
+	}}
+	if opts.HorizonDays == 0 {
+		opts.HorizonDays = 1
+	}
+	return env, New(env, 42, catalog, opts)
+}
+
+func plainAZ(pool int) AZSpec {
+	return AZSpec{
+		Name:    "test-az-1a",
+		PoolFIs: pool,
+		Mix:     mix(0.5, 0.2, 0.25, 0.05),
+	}
+}
+
+func deploySleep(t *testing.T, c *Cloud, name string, d time.Duration) {
+	t.Helper()
+	if _, err := c.Deploy("test-az-1a", name, DeployConfig{
+		MemoryMB: 2048,
+		Behavior: SleepBehavior{D: d},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvokeSleepBasics(t *testing.T) {
+	env, c := testWorld(t, plainAZ(1024), Options{})
+	deploySleep(t, c, "fn", 250*time.Millisecond)
+	var resp Response
+	env.Go("client", func(p *sim.Proc) error {
+		resp = c.Invoke(p, Request{Account: "acct", AZ: "test-az-1a", Function: "fn"})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK() {
+		t.Fatalf("invoke failed: %v", resp.Err)
+	}
+	if !resp.Cold {
+		t.Error("first invocation should cold start")
+	}
+	if resp.BilledMS < 250 || resp.BilledMS > 300 {
+		t.Errorf("billed %v ms, want ~250", resp.BilledMS)
+	}
+	if resp.FI == "" || resp.Host == "" {
+		t.Error("missing FI/host ids")
+	}
+	if !resp.CPU.Valid() {
+		t.Errorf("invalid CPU kind %v", resp.CPU)
+	}
+	if resp.Profile.UUID != resp.FI || resp.Profile.Kind != resp.CPU {
+		t.Error("profile inconsistent with response")
+	}
+	if resp.CostUSD <= 0 {
+		t.Error("no cost recorded")
+	}
+	if got := c.Meter().Total("acct"); math.Abs(got-resp.CostUSD) > 1e-12 {
+		t.Errorf("meter %v != response cost %v", got, resp.CostUSD)
+	}
+}
+
+func TestWarmReuse(t *testing.T) {
+	env, c := testWorld(t, plainAZ(1024), Options{})
+	deploySleep(t, c, "fn", 10*time.Millisecond)
+	var first, second Response
+	env.Go("client", func(p *sim.Proc) error {
+		first = c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn"})
+		second = c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn"})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !first.OK() || !second.OK() {
+		t.Fatalf("errs: %v %v", first.Err, second.Err)
+	}
+	if second.Cold {
+		t.Error("sequential invocation did not reuse the warm instance")
+	}
+	if first.FI != second.FI {
+		t.Errorf("different FIs: %s then %s", first.FI, second.FI)
+	}
+	if second.Profile.NewContainer != 0 {
+		t.Error("profile still claims new container")
+	}
+}
+
+func TestConcurrentRequestsUseDistinctFIs(t *testing.T) {
+	env, c := testWorld(t, plainAZ(1024), Options{})
+	deploySleep(t, c, "fn", 250*time.Millisecond)
+	const n = 100
+	fis := make(map[string]int)
+	done := 0
+	for i := 0; i < n; i++ {
+		c.StartInvoke(Request{Account: "a", AZ: "test-az-1a", Function: "fn"}, func(r Response) {
+			if r.OK() {
+				fis[r.FI]++
+			}
+			done++
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != n {
+		t.Fatalf("%d of %d responses arrived", done, n)
+	}
+	if len(fis) != n {
+		t.Fatalf("%d unique FIs for %d concurrent requests", len(fis), n)
+	}
+}
+
+func TestKeepAliveExpiry(t *testing.T) {
+	env, c := testWorld(t, plainAZ(1024), Options{KeepAlive: 5 * time.Minute})
+	deploySleep(t, c, "fn", 10*time.Millisecond)
+	az, _ := c.AZ("test-az-1a")
+	env.Go("client", func(p *sim.Proc) error {
+		r := c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn"})
+		if !r.OK() {
+			t.Errorf("invoke: %v", r.Err)
+		}
+		if az.LiveFIs() != 1 {
+			t.Errorf("live FIs after invoke = %d", az.LiveFIs())
+		}
+		// Within keep-alive the instance persists...
+		p.Sleep(4 * time.Minute)
+		if az.LiveFIs() != 1 {
+			t.Errorf("live FIs at 4min = %d, want 1", az.LiveFIs())
+		}
+		// ...and a new request reuses it, extending the window.
+		r2 := c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn"})
+		if r2.Cold {
+			t.Error("reuse within keep-alive cold-started")
+		}
+		p.Sleep(4 * time.Minute)
+		if az.LiveFIs() != 1 {
+			t.Errorf("live FIs 4min after reuse = %d, want 1 (window extended)", az.LiveFIs())
+		}
+		p.Sleep(2 * time.Minute)
+		if az.LiveFIs() != 0 {
+			t.Errorf("live FIs after expiry = %d, want 0", az.LiveFIs())
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturationWhenPoolExhausted(t *testing.T) {
+	// Pool of 128 slots (1 host), sleep long enough that requests overlap.
+	env, c := testWorld(t, plainAZ(128), Options{})
+	deploySleep(t, c, "fn", time.Second)
+	okCount, satCount := 0, 0
+	for i := 0; i < 200; i++ {
+		c.StartInvoke(Request{Account: "a", AZ: "test-az-1a", Function: "fn"}, func(r Response) {
+			switch {
+			case r.OK():
+				okCount++
+			case errors.Is(r.Err, ErrSaturated):
+				satCount++
+			default:
+				t.Errorf("unexpected error: %v", r.Err)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if okCount != 128 {
+		t.Errorf("ok = %d, want 128 (pool capacity)", okCount)
+	}
+	if satCount != 72 {
+		t.Errorf("saturated = %d, want 72", satCount)
+	}
+}
+
+func TestQuotaThrottling(t *testing.T) {
+	env, c := testWorld(t, plainAZ(4096), Options{Quota: 50})
+	deploySleep(t, c, "fn", time.Second)
+	var okCount, throttled int
+	for i := 0; i < 80; i++ {
+		c.StartInvoke(Request{Account: "acct", AZ: "test-az-1a", Function: "fn"}, func(r Response) {
+			switch {
+			case r.OK():
+				okCount++
+			case errors.Is(r.Err, ErrThrottled):
+				throttled++
+			default:
+				t.Errorf("unexpected error: %v", r.Err)
+			}
+		})
+	}
+	// A second account has its own quota.
+	var otherOK int
+	for i := 0; i < 40; i++ {
+		c.StartInvoke(Request{Account: "other", AZ: "test-az-1a", Function: "fn"}, func(r Response) {
+			if r.OK() {
+				otherOK++
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if okCount != 50 || throttled != 30 {
+		t.Errorf("ok/throttled = %d/%d, want 50/30", okCount, throttled)
+	}
+	if otherOK != 40 {
+		t.Errorf("second account ok = %d, want 40 (independent quota)", otherOK)
+	}
+}
+
+func TestSharedPoolAcrossAccounts(t *testing.T) {
+	// The pool is an AZ property: when account A saturates the zone,
+	// account B fails immediately — the paper's two-account validation.
+	env, c := testWorld(t, plainAZ(128), Options{})
+	deploySleep(t, c, "fa", time.Second)
+	deploySleep(t, c, "fb", time.Second)
+	var aOK int
+	for i := 0; i < 128; i++ {
+		c.StartInvoke(Request{Account: "acct-a", AZ: "test-az-1a", Function: "fa"}, func(r Response) {
+			if r.OK() {
+				aOK++
+			}
+		})
+	}
+	var bSaturated int
+	env.Schedule(100*time.Millisecond, func() {
+		for i := 0; i < 50; i++ {
+			c.StartInvoke(Request{Account: "acct-b", AZ: "test-az-1a", Function: "fb"}, func(r Response) {
+				if errors.Is(r.Err, ErrSaturated) {
+					bSaturated++
+				}
+			})
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aOK != 128 {
+		t.Errorf("first account ok = %d", aOK)
+	}
+	if bSaturated != 50 {
+		t.Errorf("second account saturated = %d, want all 50", bSaturated)
+	}
+}
+
+func TestWorkloadRuntimeFollowsCPUFactor(t *testing.T) {
+	// Single-kind pools let us compare runtimes across CPU kinds.
+	runtimeOn := func(kind cpu.Kind) float64 {
+		env := sim.NewEnv(testEpoch)
+		catalog := []RegionSpec{{
+			Provider: AWS, Name: "r", Loc: geo.Coord{},
+			AZs: []AZSpec{{
+				Name: "r-az", PoolFIs: 512,
+				Mix: map[cpu.Kind]float64{kind: 1},
+			}},
+		}}
+		c := New(env, 7, catalog, Options{HorizonDays: 1})
+		if _, err := c.Deploy("r-az", "fn", DeployConfig{
+			MemoryMB: 4096,
+			Behavior: WorkBehavior{Workload: workload.MathService},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		n := 40
+		gotN := 0
+		env.Go("client", func(p *sim.Proc) error {
+			for i := 0; i < n; i++ {
+				r := c.Invoke(p, Request{Account: "a", AZ: "r-az", Function: "fn"})
+				if !r.OK() {
+					t.Errorf("invoke on %v: %v", kind, r.Err)
+					continue
+				}
+				total += r.BilledMS
+				gotN++
+			}
+			return nil
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total / float64(gotN)
+	}
+	base := runtimeOn(cpu.Xeon25)
+	fast := runtimeOn(cpu.Xeon30)
+	slow := runtimeOn(cpu.EPYC)
+	spec := workload.MustGet(workload.MathService)
+	if ratio := fast / base; math.Abs(ratio-spec.CPUFactor(cpu.Xeon30)) > 0.05 {
+		t.Errorf("3.0GHz/baseline ratio = %.3f, want ~%.3f", ratio, spec.CPUFactor(cpu.Xeon30))
+	}
+	if ratio := slow / base; math.Abs(ratio-spec.CPUFactor(cpu.EPYC)) > 0.08 {
+		t.Errorf("EPYC/baseline ratio = %.3f, want ~%.3f", ratio, spec.CPUFactor(cpu.EPYC))
+	}
+}
+
+func TestMemoryStarvedDeploymentRunsSlower(t *testing.T) {
+	env, c := testWorld(t, AZSpec{Name: "test-az-1a", PoolFIs: 512, Mix: mix(1, 0, 0, 0)}, Options{})
+	for name, mem := range map[string]int{"big": 8192, "small": 512} {
+		if _, err := c.Deploy("test-az-1a", name, DeployConfig{
+			MemoryMB: mem,
+			Behavior: WorkBehavior{Workload: workload.MatrixMultiply},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := map[string]float64{}
+	env.Go("client", func(p *sim.Proc) error {
+		for _, name := range []string{"big", "small"} {
+			var sum float64
+			for i := 0; i < 20; i++ {
+				r := c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: name})
+				if !r.OK() {
+					t.Errorf("%s: %v", name, r.Err)
+				}
+				sum += r.BilledMS
+			}
+			avg[name] = sum / 20
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg["small"] < 2*avg["big"] {
+		t.Errorf("512MB avg %.0fms not much slower than 8GB avg %.0fms", avg["small"], avg["big"])
+	}
+}
+
+func TestDynamicWorkOverride(t *testing.T) {
+	env, c := testWorld(t, plainAZ(512), Options{})
+	if _, err := c.Deploy("test-az-1a", "dyn", DeployConfig{
+		MemoryMB: 2048,
+		Dynamic:  true,
+		Behavior: SleepBehavior{D: time.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deploySleep(t, c, "static", time.Millisecond)
+	var dynResp, staticResp Response
+	env.Go("client", func(p *sim.Proc) error {
+		dynResp = c.Invoke(p, Request{
+			Account: "a", AZ: "test-az-1a", Function: "dyn",
+			Work: WorkBehavior{Workload: workload.Sha1Hash},
+		})
+		staticResp = c.Invoke(p, Request{
+			Account: "a", AZ: "test-az-1a", Function: "static",
+			Work: WorkBehavior{Workload: workload.Sha1Hash},
+		})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dynResp.OK() {
+		t.Fatalf("dynamic override failed: %v", dynResp.Err)
+	}
+	if dynResp.BilledMS < 100 {
+		t.Errorf("override ignored: billed %.1fms", dynResp.BilledMS)
+	}
+	if staticResp.OK() || !errors.Is(staticResp.Err, ErrBadRequest) {
+		t.Errorf("override on non-dynamic deployment: err = %v, want ErrBadRequest", staticResp.Err)
+	}
+}
+
+func TestPayloadCacheFlag(t *testing.T) {
+	env, c := testWorld(t, plainAZ(512), Options{})
+	deploySleepDyn := func() {
+		if _, err := c.Deploy("test-az-1a", "dyn", DeployConfig{
+			MemoryMB: 2048, Dynamic: true, Behavior: SleepBehavior{D: time.Millisecond},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deploySleepDyn()
+	var r1, r2, r3 Response
+	env.Go("client", func(p *sim.Proc) error {
+		req := Request{Account: "a", AZ: "test-az-1a", Function: "dyn", PayloadHash: "h1"}
+		r1 = c.Invoke(p, req)
+		r2 = c.Invoke(p, req)
+		req.PayloadHash = "h2"
+		r3 = c.Invoke(p, req)
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r1.PayloadCached {
+		t.Error("first request reported cached payload")
+	}
+	if !r2.PayloadCached {
+		t.Error("second request on same FI+hash not cached")
+	}
+	if r3.PayloadCached {
+		t.Error("different hash reported cached")
+	}
+}
+
+func TestHandlerBehaviorNestedInvoke(t *testing.T) {
+	env, c := testWorld(t, plainAZ(1024), Options{})
+	deploySleep(t, c, "leaf", 50*time.Millisecond)
+	if _, err := c.Deploy("test-az-1a", "parent", DeployConfig{
+		MemoryMB: 2048,
+		Behavior: HandlerBehavior{Fn: func(ctx *Ctx, req Request) (any, error) {
+			evs := make([]*sim.Event, 3)
+			for i := range evs {
+				evs[i] = ctx.InvokeAsync(Request{Account: req.Account, AZ: "test-az-1a", Function: "leaf"})
+			}
+			oks := 0
+			for _, ev := range evs {
+				if ctx.Wait(ev).OK() {
+					oks++
+				}
+			}
+			return oks, nil
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	env.Go("client", func(p *sim.Proc) error {
+		resp = c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "parent"})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK() {
+		t.Fatalf("parent failed: %v", resp.Err)
+	}
+	if got, ok := resp.Value.(int); !ok || got != 3 {
+		t.Fatalf("parent value = %v, want 3 successful children", resp.Value)
+	}
+	// Parent billed duration covers the children (they ran in parallel,
+	// each with its own cold start), not three sleeps in sequence plus
+	// three cold starts.
+	if resp.BilledMS < 50 || resp.BilledMS > 400 {
+		t.Errorf("parent billed %.1fms, want ~50-400 (parallel children)", resp.BilledMS)
+	}
+}
+
+func TestHandlerCPUInfoMatchesProfile(t *testing.T) {
+	env, c := testWorld(t, plainAZ(512), Options{})
+	var insideKind cpu.Kind
+	if _, err := c.Deploy("test-az-1a", "inspect", DeployConfig{
+		MemoryMB: 2048,
+		Behavior: HandlerBehavior{Fn: func(ctx *Ctx, req Request) (any, error) {
+			k, _, err := cpu.ParseCPUInfo(ctx.CPUInfo())
+			insideKind = k
+			return nil, err
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	env.Go("client", func(p *sim.Proc) error {
+		resp = c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "inspect"})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK() {
+		t.Fatal(resp.Err)
+	}
+	if insideKind != resp.CPU {
+		t.Errorf("handler saw %v, response says %v", insideKind, resp.CPU)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	env, c := testWorld(t, plainAZ(512), Options{})
+	var badAZ, badFn Response
+	env.Go("client", func(p *sim.Proc) error {
+		badAZ = c.Invoke(p, Request{Account: "a", AZ: "nope", Function: "fn"})
+		badFn = c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "ghost"})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(badAZ.Err, ErrNoSuchDeployment) || !errors.Is(badFn.Err, ErrNoSuchDeployment) {
+		t.Errorf("errs = %v / %v", badAZ.Err, badFn.Err)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	_, c := testWorld(t, plainAZ(512), Options{})
+	if _, err := c.Deploy("test-az-1a", "fn", DeployConfig{MemoryMB: 2048, Behavior: SleepBehavior{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("test-az-1a", "fn", DeployConfig{MemoryMB: 2048, Behavior: SleepBehavior{}}); err == nil {
+		t.Error("duplicate deploy accepted")
+	}
+	if _, err := c.Deploy("test-az-1a", "bad", DeployConfig{Behavior: SleepBehavior{}}); err == nil {
+		t.Error("zero-memory deploy accepted")
+	}
+	if _, err := c.Deploy("ghost-az", "fn", DeployConfig{MemoryMB: 128, Behavior: SleepBehavior{}}); err == nil {
+		t.Error("deploy to unknown AZ accepted")
+	}
+}
+
+func TestClientLatencyApplied(t *testing.T) {
+	env, c := testWorld(t, plainAZ(512), Options{})
+	deploySleep(t, c, "fn", 10*time.Millisecond)
+	seattle, _ := geo.City("seattle")
+	var local, remote time.Duration
+	env.Go("client", func(p *sim.Proc) error {
+		// Warm the instance so neither timed call pays a cold start.
+		if r := c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn"}); !r.OK() {
+			t.Error(r.Err)
+		}
+		t0 := env.Now()
+		r := c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn"})
+		local = env.Now().Sub(t0)
+		if !r.OK() {
+			t.Error(r.Err)
+		}
+		t1 := env.Now()
+		r = c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn", ClientLoc: &seattle})
+		remote = env.Now().Sub(t1)
+		if !r.OK() {
+			t.Error(r.Err)
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if remote <= local+10*time.Millisecond {
+		t.Errorf("remote client round trip %v not slower than intra-cloud %v", remote, local)
+	}
+}
+
+func TestBillingGranularityAndRates(t *testing.T) {
+	p := PriceModel{PerGBSecond: 0.0000166667, PerRequest: 0.0000002, GranularityMS: 1}
+	// 2GB for exactly 1 second.
+	got := p.Cost(2048, 1000)
+	want := 2*0.0000166667 + 0.0000002
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("cost = %.10f, want %.10f", got, want)
+	}
+	// Rounding up to the next millisecond.
+	if a, b := p.Cost(1024, 100.2), p.Cost(1024, 101); a != b {
+		t.Errorf("100.2ms billed %.12f != 101ms billed %.12f", a, b)
+	}
+	if p.Cost(1024, 0) != p.PerRequest {
+		t.Error("zero-duration cost should be the request fee")
+	}
+	if p.Cost(1024, -5) != p.PerRequest {
+		t.Error("negative duration not clamped")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Charge("a", 0.5)
+	m.Charge("a", 0.25)
+	m.Charge("b", 1)
+	if m.Total("a") != 0.75 || m.Requests("a") != 2 {
+		t.Errorf("a: %v/%d", m.Total("a"), m.Requests("a"))
+	}
+	if m.GrandTotal() != 1.75 {
+		t.Errorf("grand total %v", m.GrandTotal())
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDefaultCatalogShape(t *testing.T) {
+	catalog := DefaultCatalog()
+	if len(catalog) != 41 {
+		t.Fatalf("catalog has %d regions, paper spans 41", len(catalog))
+	}
+	counts := map[Provider]int{}
+	names := map[string]bool{}
+	azNames := map[string]bool{}
+	for _, r := range catalog {
+		counts[r.Provider]++
+		if names[r.Name] {
+			t.Errorf("duplicate region %s", r.Name)
+		}
+		names[r.Name] = true
+		if len(r.AZs) == 0 {
+			t.Errorf("region %s has no AZs", r.Name)
+		}
+		for _, az := range r.AZs {
+			if azNames[az.Name] {
+				t.Errorf("duplicate AZ %s", az.Name)
+			}
+			azNames[az.Name] = true
+			if az.PoolFIs <= 0 {
+				t.Errorf("AZ %s: empty pool", az.Name)
+			}
+			if len(az.Mix) == 0 {
+				t.Errorf("AZ %s: empty mix", az.Name)
+			}
+		}
+	}
+	if counts[AWS] != 29 || counts[IBM] != 8 || counts[DO] != 4 {
+		t.Errorf("provider split = %v, want AWS:29 IBM:8 DO:4", counts)
+	}
+}
+
+func TestCatalogPaperFacts(t *testing.T) {
+	catalog := DefaultCatalog()
+	byAZ := map[string]AZSpec{}
+	for _, r := range catalog {
+		for _, az := range r.AZs {
+			byAZ[az.Name] = az
+		}
+	}
+	// Every AWS region hosts the 2.5 GHz Xeon; all but af-south-1 host the
+	// 3.0 GHz.
+	// The paper states these facts at region granularity.
+	for _, r := range catalog {
+		if r.Provider != AWS {
+			continue
+		}
+		has30 := false
+		for _, az := range r.AZs {
+			if az.Mix[cpu.Xeon25] <= 0 {
+				t.Errorf("%s: missing 2.5GHz Xeon", az.Name)
+			}
+			if az.Mix[cpu.Xeon30] > 0 {
+				has30 = true
+			}
+		}
+		if r.Name == "af-south-1" && has30 {
+			t.Errorf("af-south-1 should not host the 3.0GHz Xeon")
+		}
+		if r.Name != "af-south-1" && !has30 {
+			t.Errorf("region %s: missing 3.0GHz Xeon", r.Name)
+		}
+	}
+	// us-east-2a is all-2.5GHz; us-west-2 is 3.0-dominant; il-central-1
+	// has the largest EPYC share.
+	if m := byAZ["us-east-2a"].Mix; len(m) != 1 || m[cpu.Xeon25] != 1 {
+		t.Errorf("us-east-2a mix = %v, want pure 2.5GHz", m)
+	}
+	if m := byAZ["us-west-2a"].Mix; m[cpu.Xeon30] <= m[cpu.Xeon25] {
+		t.Errorf("us-west-2a: 3.0GHz share %v not dominant over %v", m[cpu.Xeon30], m[cpu.Xeon25])
+	}
+	ilEpyc := byAZ["il-central-1a"].Mix[cpu.EPYC]
+	for name, spec := range byAZ {
+		if name == "il-central-1a" {
+			continue
+		}
+		if spec.Mix[cpu.EPYC] > ilEpyc {
+			t.Errorf("%s EPYC share %v exceeds il-central-1a's %v", name, spec.Mix[cpu.EPYC], ilEpyc)
+		}
+	}
+	// EX-3/EX-4 zones exist.
+	for _, name := range []string{
+		"ca-central-1a", "eu-north-1a", "ap-northeast-1a", "sa-east-1a",
+		"eu-central-1a", "ap-southeast-2a", "us-west-1a", "us-west-1b",
+		"us-east-2a", "us-east-2b", "us-east-2c",
+	} {
+		if _, ok := byAZ[name]; !ok {
+			t.Errorf("EX-3 zone %s missing from catalog", name)
+		}
+	}
+	// Capacity relationships from EX-3.
+	if byAZ["eu-central-1a"].PoolFIs < 8*byAZ["eu-north-1a"].PoolFIs {
+		t.Error("eu-central-1a should sustain ~10x eu-north-1a's calls")
+	}
+	// Temporal classes from EX-4.
+	for _, stable := range []string{"sa-east-1a", "eu-north-1a"} {
+		if byAZ[stable].DailyDrift > 0.05 {
+			t.Errorf("%s should be temporally stable", stable)
+		}
+	}
+	for _, volatile := range []string{"ca-central-1a", "us-west-1a", "us-west-1b"} {
+		if byAZ[volatile].DailyDrift < 0.2 {
+			t.Errorf("%s should be volatile", volatile)
+		}
+	}
+	if byAZ["us-west-1b"].HourlyDrift <= 0 {
+		t.Error("us-west-1b needs hourly churn for Fig. 8")
+	}
+}
+
+func TestTrueMixMatchesSpecApproximately(t *testing.T) {
+	_, c := testWorld(t, plainAZ(20000), Options{})
+	az, _ := c.AZ("test-az-1a")
+	truth := az.TrueMix()
+	for kind, want := range normalizeMix(plainAZ(0).Mix) {
+		got := truth[kind]
+		if math.Abs(got-want) > 0.12 {
+			t.Errorf("%v share = %.3f, want ~%.3f", kind, got, want)
+		}
+	}
+}
+
+func TestDriftChangesVolatileZoneOnly(t *testing.T) {
+	mixDist := func(a, b map[cpu.Kind]float64) float64 {
+		var d float64
+		for _, k := range cpu.Kinds() {
+			d += math.Abs(a[k] - b[k])
+		}
+		return d / 2
+	}
+	run := func(daily, walk float64) float64 {
+		env := sim.NewEnv(testEpoch)
+		spec := plainAZ(20000)
+		spec.DailyDrift = daily
+		spec.MixWalk = walk
+		catalog := []RegionSpec{{Provider: AWS, Name: "r", AZs: []AZSpec{spec}}}
+		c := New(env, 99, catalog, Options{HorizonDays: 10})
+		az, _ := c.AZ("test-az-1a")
+		day0 := az.TrueMix()
+		if err := env.RunFor(10 * 24 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return mixDist(day0, az.TrueMix())
+	}
+	stable := run(stableDrift, stableWalk)
+	volatile := run(volatileDrift, volatileWalk)
+	if stable > 0.10 {
+		t.Errorf("stable zone drifted %.3f over 10 days, want <= 0.10", stable)
+	}
+	if volatile < stable {
+		t.Errorf("volatile drift %.3f not above stable %.3f", volatile, stable)
+	}
+	if volatile < 0.08 {
+		t.Errorf("volatile zone drifted only %.3f over 10 days", volatile)
+	}
+}
+
+func TestContentionDiurnal(t *testing.T) {
+	env, c := testWorld(t, AZSpec{
+		Name: "test-az-1a", PoolFIs: 512, Mix: mix(1, 0, 0, 0),
+		ContentionAmp: 0.10, PeakHourUTC: 14,
+	}, Options{})
+	_ = env
+	az, _ := c.AZ("test-az-1a")
+	peak := az.contention(time.Date(2026, 3, 1, 14, 0, 0, 0, time.UTC))
+	trough := az.contention(time.Date(2026, 3, 1, 2, 0, 0, 0, time.UTC))
+	if math.Abs(peak-1.10) > 1e-9 {
+		t.Errorf("peak contention = %v, want 1.10", peak)
+	}
+	if math.Abs(trough-1.0) > 1e-9 {
+		t.Errorf("trough contention = %v, want 1.0", trough)
+	}
+}
+
+func TestScaleUpAddsReserveHosts(t *testing.T) {
+	env, c := testWorld(t, AZSpec{
+		Name: "test-az-1a", PoolFIs: 128,
+		Mix:         mix(1, 0, 0, 0),
+		ReserveMix:  mix(0, 0, 0, 1),
+		ReserveFrac: 1, // double the pool on scale-up, all EPYC
+	}, Options{ScaleUpDelay: 10 * time.Second})
+	deploySleep(t, c, "fn", 30*time.Second)
+	az, _ := c.AZ("test-az-1a")
+	before := az.HostCount()
+	// Exhaust and keep pushing.
+	for i := 0; i < 130; i++ {
+		c.StartInvoke(Request{Account: "a", AZ: "test-az-1a", Function: "fn"}, func(Response) {})
+	}
+	sawEpyc := false
+	env.Schedule(20*time.Second, func() {
+		if az.HostCount() <= before {
+			t.Errorf("no scale-up: hosts %d -> %d", before, az.HostCount())
+		}
+		if az.TrueMix()[cpu.EPYC] <= 0 {
+			t.Error("reserve hosts did not introduce unseen hardware")
+		} else {
+			sawEpyc = true
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawEpyc {
+		t.Error("scale-up check did not run")
+	}
+}
+
+func TestArmDeploymentsLandOnGraviton(t *testing.T) {
+	env, c := testWorld(t, AZSpec{
+		Name: "test-az-1a", PoolFIs: 512, ArmPoolFIs: 256, Mix: mix(1, 0, 0, 0),
+	}, Options{})
+	if _, err := c.Deploy("test-az-1a", "armfn", DeployConfig{
+		MemoryMB: 2048, Arch: cpu.ARM, Behavior: SleepBehavior{D: time.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	env.Go("client", func(p *sim.Proc) error {
+		resp = c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "armfn"})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK() {
+		t.Fatal(resp.Err)
+	}
+	if resp.CPU != cpu.Graviton {
+		t.Errorf("arm deployment ran on %v", resp.CPU)
+	}
+}
+
+func TestPlacementClustersButCanSpread(t *testing.T) {
+	// Statistical packing: a 256-request poll on a 32-host zone should
+	// cluster well below uniform spread (256/32 = 8 per host uniformly)
+	// yet touch more than one host.
+	env, c := testWorld(t, plainAZ(4096), Options{})
+	deploySleep(t, c, "fn", time.Second)
+	hosts := map[string]int{}
+	for i := 0; i < 256; i++ {
+		c.StartInvoke(Request{Account: "a", AZ: "test-az-1a", Function: "fn"}, func(r Response) {
+			if r.OK() {
+				hosts[r.Host]++
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) < 2 {
+		t.Errorf("placement used %d hosts; retries could never escape a banned host", len(hosts))
+	}
+	if len(hosts) >= 30 {
+		t.Errorf("placement spread over %d/32 hosts; no packing at all", len(hosts))
+	}
+	maxLoad := 0
+	for _, n := range hosts {
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	if maxLoad < 16 {
+		t.Errorf("heaviest host got %d/256 placements; packing too weak", maxLoad)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		env := sim.NewEnv(testEpoch)
+		catalog := []RegionSpec{{Provider: AWS, Name: "r", AZs: []AZSpec{plainAZ(2048)}}}
+		c := New(env, 1234, catalog, Options{HorizonDays: 1})
+		if _, err := c.Deploy("test-az-1a", "fn", DeployConfig{
+			MemoryMB: 2048, Behavior: WorkBehavior{Workload: workload.Zipper},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var log []string
+		env.Go("client", func(p *sim.Proc) error {
+			for i := 0; i < 30; i++ {
+				r := c.Invoke(p, Request{Account: "a", AZ: "test-az-1a", Function: "fn"})
+				log = append(log, r.FI+"/"+r.CPU.String())
+			}
+			return nil
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package cloudsim
+
+import "errors"
+
+var (
+	// ErrThrottled is returned when an account exceeds its per-region
+	// concurrent execution quota (HTTP 429 TooManyRequestsException).
+	ErrThrottled = errors.New("cloudsim: concurrency quota exceeded")
+
+	// ErrSaturated is returned when the availability zone has no host
+	// capacity left to place a new function instance — the condition the
+	// paper's sampling method drives every zone into (§4.1). Real platforms
+	// also surface this as a 429; the simulator distinguishes the causes so
+	// tests can assert on the mechanism, while samplers treat both as
+	// generic failures just like a real client would.
+	ErrSaturated = errors.New("cloudsim: no capacity to place function instance")
+
+	// ErrNoSuchDeployment is returned for invocations of unknown endpoints.
+	ErrNoSuchDeployment = errors.New("cloudsim: no such deployment")
+
+	// ErrBadRequest is returned for malformed invocations (e.g. dynamic
+	// work sent to a non-dynamic deployment).
+	ErrBadRequest = errors.New("cloudsim: bad request")
+)

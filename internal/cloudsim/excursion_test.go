@@ -1,0 +1,196 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// TestExcursionIsTransient drives the excursion path directly: a chunk of
+// the pool flips to a perturbed mix and reverts within the hour (Fig. 8's
+// isolated bad hours).
+func TestExcursionIsTransient(t *testing.T) {
+	env := sim.NewEnv(testEpoch)
+	catalog := []RegionSpec{{
+		Provider: AWS, Name: "r", Loc: geo.Coord{},
+		AZs: []AZSpec{{
+			Name: "r-az", PoolFIs: 16000,
+			Mix:     map[cpu.Kind]float64{cpu.Xeon25: 0.5, cpu.Xeon30: 0.3, cpu.EPYC: 0.2},
+			MixWalk: 0.6,
+		}},
+	}}
+	cloud := New(env, 77, catalog, Options{HorizonDays: 1})
+	az, _ := cloud.AZ("r-az")
+	kindsOf := func() []cpu.Kind {
+		out := make([]cpu.Kind, len(az.hosts))
+		for i, h := range az.hosts {
+			out[i] = h.kind
+		}
+		return out
+	}
+	diff := func(a, b []cpu.Kind) int {
+		n := 0
+		for i := range a {
+			if a[i] != b[i] {
+				n++
+			}
+		}
+		return n
+	}
+	before := kindsOf()
+	az.excursion()
+	// Shortly after, a sizeable chunk of hosts carry swapped kinds...
+	if err := env.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if changed := diff(before, kindsOf()); changed < len(before)/10 {
+		t.Fatalf("excursion flipped only %d/%d hosts", changed, len(before))
+	}
+	// ...and an hour later every host carries its original kind again.
+	if err := env.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if changed := diff(before, kindsOf()); changed != 0 {
+		t.Fatalf("excursion did not revert: %d hosts still flipped", changed)
+	}
+}
+
+// TestExcursionSparesBusyHosts verifies hosts with live instances are
+// neither flipped nor force-restored mid-use.
+func TestExcursionSparesBusyHosts(t *testing.T) {
+	env := sim.NewEnv(testEpoch)
+	catalog := []RegionSpec{{
+		Provider: AWS, Name: "r", Loc: geo.Coord{},
+		AZs: []AZSpec{{
+			Name: "r-az", PoolFIs: 256, // 2 hosts
+			Mix:     map[cpu.Kind]float64{cpu.Xeon25: 1},
+			MixWalk: 0.6,
+		}},
+	}}
+	cloud := New(env, 77, catalog, Options{HorizonDays: 1})
+	az, _ := cloud.AZ("r-az")
+	if _, err := cloud.Deploy("r-az", "fn", DeployConfig{
+		MemoryMB: 1024, Behavior: SleepBehavior{D: 2 * time.Hour},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy every slot so no host is idle.
+	for i := 0; i < 256; i++ {
+		cloud.StartInvoke(Request{Account: "a", AZ: "r-az", Function: "fn"}, func(Response) {})
+	}
+	if err := env.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	az.excursion()
+	if err := env.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := az.TrueMix()[cpu.Xeon25]; got != 1 {
+		t.Fatalf("busy hosts were flipped: %v", az.TrueMix())
+	}
+	env.Shutdown()
+}
+
+// TestHandlerCtxOps exercises the remaining handler-context surface:
+// Compute, Sleep, cache helpers, and identity accessors.
+func TestHandlerCtxOps(t *testing.T) {
+	env := sim.NewEnv(testEpoch)
+	catalog := []RegionSpec{{
+		Provider: AWS, Name: "r", Loc: geo.Coord{},
+		AZs: []AZSpec{{Name: "r-az", PoolFIs: 256, Mix: map[cpu.Kind]float64{cpu.Xeon25: 1}}},
+	}}
+	cloud := New(env, 3, catalog, Options{HorizonDays: 1})
+	var computeDur time.Duration
+	if _, err := cloud.Deploy("r-az", "handler", DeployConfig{
+		MemoryMB: 2048,
+		Behavior: HandlerBehavior{Fn: func(ctx *Ctx, req Request) (any, error) {
+			if ctx.FIID() == "" || ctx.HostID() == "" {
+				t.Error("missing instance identity")
+			}
+			if !ctx.Cold() {
+				t.Error("first invocation not cold")
+			}
+			if ctx.Now().Before(testEpoch) {
+				t.Error("clock broken")
+			}
+			if ctx.CacheHas("blob") {
+				t.Error("cache pre-populated")
+			}
+			ctx.CachePut("blob")
+			if !ctx.CacheHas("blob") {
+				t.Error("cache put lost")
+			}
+			ctx.Sleep(50 * time.Millisecond)
+			computeDur = ctx.Compute(WorkBehavior{Workload: workload.Sha1Hash})
+			return "done", nil
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	env.Go("client", func(p *sim.Proc) error {
+		resp = cloud.Invoke(p, Request{Account: "a", AZ: "r-az", Function: "handler"})
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK() || resp.Value != "done" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if computeDur <= 0 {
+		t.Fatal("Compute returned no duration")
+	}
+	wantMS := 50 + float64(computeDur)/float64(time.Millisecond)
+	if resp.BilledMS < wantMS || resp.BilledMS > wantMS+10 {
+		t.Fatalf("billed %.1fms, want ~%.1f", resp.BilledMS, wantMS)
+	}
+}
+
+// TestAccessors covers the thin read-only surface the experiments lean on.
+func TestAccessors(t *testing.T) {
+	env := sim.NewEnv(testEpoch)
+	catalog := []RegionSpec{{
+		Provider: AWS, Name: "r", Loc: geo.Coord{Lat: 1, Lon: 2},
+		AZs: []AZSpec{{Name: "r-az", PoolFIs: 256, Mix: map[cpu.Kind]float64{cpu.Xeon25: 1}}},
+	}}
+	cloud := New(env, 3, catalog, Options{HorizonDays: 1})
+	az, _ := cloud.AZ("r-az")
+	if az.Name() != "r-az" || az.Region().Name() != "r" || az.Spec().PoolFIs != 256 {
+		t.Fatal("AZ accessors broken")
+	}
+	if az.CapacityFIs() != 256 {
+		t.Fatalf("capacity = %d", az.CapacityFIs())
+	}
+	dep, err := cloud.Deploy("r-az", "fn", DeployConfig{MemoryMB: 1024, Behavior: SleepBehavior{D: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Name() != "fn" || dep.MemoryMB() != 1024 || dep.AZName() != "r-az" {
+		t.Fatal("deployment accessors broken")
+	}
+	var resp Response
+	env.Go("client", func(p *sim.Proc) error {
+		resp = cloud.Invoke(p, Request{Account: "a", AZ: "r-az", Function: "fn"})
+		resp2 := cloud.Invoke(p, Request{Account: "a", AZ: "r-az", Function: "fn"})
+		_ = resp2
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.FI == "" {
+		t.Fatal("no FI")
+	}
+	region, ok := cloud.Region("r")
+	if !ok || region.Provider() != AWS || region.Loc().Lat != 1 {
+		t.Fatal("region accessors broken")
+	}
+	if region.Spec().Name != "r" {
+		t.Fatal("region spec broken")
+	}
+}

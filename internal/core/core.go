@@ -1,0 +1,243 @@
+// Package core assembles the serverless sky computing runtime — the
+// paper's primary contribution. A Runtime owns a simulated multi-cloud, a
+// sky mesh of dynamic functions over it, an infrastructure sampler, a
+// characterization store, a per-workload performance model, and the smart
+// routing system that turns all of that into placement decisions.
+//
+// The flow mirrors §3: deploy the mesh once; characterize zones with the
+// sampler (cheaply, a few polls — or exhaustively, to saturation); profile
+// workloads to learn per-CPU performance; then route bursts with a
+// Strategy (baseline / regional / retry / hybrid).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/faas"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/mesh"
+	"skyfaas/internal/router"
+	"skyfaas/internal/sampler"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// Config assembles a Runtime. Zero values take paper defaults.
+type Config struct {
+	// Seed drives every stochastic element; equal seeds replay exactly.
+	Seed uint64
+	// Epoch is the virtual start time (default 2026-01-05 00:00 UTC, a
+	// Monday).
+	Epoch time.Time
+	// Catalog overrides the default 41-region world (nil = full world).
+	Catalog []cloudsim.RegionSpec
+	// CloudOpts tunes platform mechanics.
+	CloudOpts cloudsim.Options
+	// MeshCfg selects the deployment matrix.
+	MeshCfg mesh.Config
+	// SamplerCfg tunes the polling technique.
+	SamplerCfg sampler.Config
+	// StoreTTL is the characterization lifespan (default 24h).
+	StoreTTL time.Duration
+	// Account is the billing account (default "sky").
+	Account string
+	// ClientLoc places the client geographically (nil = co-located).
+	ClientLoc *geo.Coord
+	// SkipMesh replaces the full deployment matrix with a minimal one
+	// (one x86 endpoint per zone) for fast tests.
+	SkipMesh bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	}
+	if c.StoreTTL == 0 {
+		c.StoreTTL = 24 * time.Hour
+	}
+	if c.Account == "" {
+		c.Account = "sky"
+	}
+	return c
+}
+
+// Runtime is a fully assembled serverless sky computing system.
+type Runtime struct {
+	env     *sim.Env
+	cloud   *cloudsim.Cloud
+	client  *faas.Client
+	mesh    *mesh.Mesh
+	sampler *sampler.Sampler
+	store   *charact.Store
+	perf    *router.PerfModel
+	router  *router.Router
+	sampled map[string]bool // zones with sampling endpoints deployed
+}
+
+// New builds a Runtime (deploying the mesh unless cfg.SkipMesh).
+func New(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	env := sim.NewEnv(cfg.Epoch)
+	cloud := cloudsim.New(env, cfg.Seed, cfg.Catalog, cfg.CloudOpts)
+	var clientOpts []faas.Option
+	if cfg.ClientLoc != nil {
+		clientOpts = append(clientOpts, faas.WithLocation(*cfg.ClientLoc))
+	}
+	client := faas.NewClient(cloud, cfg.Account, clientOpts...)
+	rt := &Runtime{
+		env:     env,
+		cloud:   cloud,
+		client:  client,
+		sampler: sampler.New(client, cfg.SamplerCfg),
+		store:   charact.NewStore(cfg.StoreTTL),
+		perf:    router.NewPerfModel(),
+		sampled: make(map[string]bool),
+	}
+	meshCfg := cfg.MeshCfg
+	if cfg.SkipMesh {
+		// Minimal matrix: one x86 endpoint per zone, enough for routing.
+		meshCfg = mesh.Config{
+			AWSMemoriesMB: []int{4096},
+			AWSArchs:      []cpu.Arch{cpu.X86},
+			IBMMemoriesMB: []int{4096},
+			DOMemoriesMB:  []int{1024},
+		}
+	}
+	m, err := mesh.Build(cloud, meshCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rt.mesh = m
+	rt.router = router.New(client, rt.mesh, rt.store, rt.perf)
+	return rt, nil
+}
+
+// Env returns the simulation environment.
+func (rt *Runtime) Env() *sim.Env { return rt.env }
+
+// Cloud returns the simulated sky.
+func (rt *Runtime) Cloud() *cloudsim.Cloud { return rt.cloud }
+
+// Client returns the account-scoped FaaS client.
+func (rt *Runtime) Client() *faas.Client { return rt.client }
+
+// Mesh returns the deployed sky mesh.
+func (rt *Runtime) Mesh() *mesh.Mesh { return rt.mesh }
+
+// Sampler returns the infrastructure sampler.
+func (rt *Runtime) Sampler() *sampler.Sampler { return rt.sampler }
+
+// Store returns the characterization store.
+func (rt *Runtime) Store() *charact.Store { return rt.store }
+
+// Perf returns the learned performance model.
+func (rt *Runtime) Perf() *router.PerfModel { return rt.perf }
+
+// Router returns the smart routing system.
+func (rt *Runtime) Router() *router.Router { return rt.router }
+
+// Do runs fn as the client process and drives the simulation until all
+// work completes, returning fn's error.
+func (rt *Runtime) Do(fn func(p *sim.Proc) error) error {
+	proc := rt.env.Go("client", fn)
+	if err := rt.env.Run(); err != nil {
+		return err
+	}
+	return proc.Err()
+}
+
+// EnsureSamplerEndpoints deploys the zone's sampling functions once.
+func (rt *Runtime) EnsureSamplerEndpoints(az string) error {
+	if rt.sampled[az] {
+		return nil
+	}
+	if err := rt.sampler.Deploy(az); err != nil {
+		return err
+	}
+	rt.sampled[az] = true
+	return nil
+}
+
+// Characterize drives a zone to saturation (EX-1 style), stores the
+// resulting ground-truth characterization, and returns it with the
+// per-poll trail.
+func (rt *Runtime) Characterize(p *sim.Proc, az string) (charact.Characterization, []sampler.PollResult, error) {
+	if err := rt.EnsureSamplerEndpoints(az); err != nil {
+		return charact.Characterization{}, nil, err
+	}
+	ch, trail, err := rt.sampler.Characterize(p, az)
+	if err != nil {
+		return ch, trail, err
+	}
+	rt.store.Put(ch)
+	return ch, trail, nil
+}
+
+// Refresh updates zone characterizations with a fixed number of polls (the
+// cheap daily mode) and returns the total sampling spend.
+func (rt *Runtime) Refresh(p *sim.Proc, azs []string, polls int) (float64, error) {
+	var cost float64
+	for _, az := range azs {
+		if err := rt.EnsureSamplerEndpoints(az); err != nil {
+			return cost, err
+		}
+		ch, _, err := rt.sampler.CharacterizeQuick(p, az, polls)
+		if err != nil {
+			return cost, err
+		}
+		rt.store.Put(ch)
+		cost += ch.CostUSD
+	}
+	return cost, nil
+}
+
+// EnablePassiveCharacterization attaches a passive collector (window 0 =
+// 24h): all routed traffic feeds it, and RefreshPassive can then update the
+// store at zero sampling cost for zones carrying enough traffic.
+func (rt *Runtime) EnablePassiveCharacterization(window time.Duration) *charact.Passive {
+	p := charact.NewPassive(window)
+	rt.router.UsePassive(p)
+	return p
+}
+
+// RefreshPassive updates the store from passive observations wherever at
+// least minSamples instances were seen within the collector window. It
+// returns the zones refreshed.
+func (rt *Runtime) RefreshPassive(azs []string, minSamples int) []string {
+	passive := rt.router.Passive()
+	if passive == nil {
+		return nil
+	}
+	now := rt.env.Now()
+	var refreshed []string
+	for _, az := range azs {
+		if ch, ok := passive.Characterization(az, now, minSamples); ok {
+			rt.store.Put(ch)
+			refreshed = append(refreshed, az)
+		}
+	}
+	return refreshed
+}
+
+// ProfileWorkloads learns per-CPU runtimes for each workload across zones
+// (EX-5's baseline step), returning total profiling spend.
+func (rt *Runtime) ProfileWorkloads(p *sim.Proc, ws []workload.ID, azs []string, nPerAZ int) (float64, error) {
+	var cost float64
+	for _, w := range ws {
+		c, err := rt.router.Profile(p, w, azs, nPerAZ, 0)
+		if err != nil {
+			return cost, err
+		}
+		cost += c
+	}
+	return cost, nil
+}
+
+// Run executes one routed burst.
+func (rt *Runtime) Run(p *sim.Proc, spec router.BurstSpec) (router.BurstResult, error) {
+	return rt.router.Burst(p, spec)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"skyfaas/internal/router"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// TestPassiveCharacterizationEndToEnd exercises §4.6's future-work path:
+// characterize zones from routed traffic alone — no polls, no sampling
+// spend — then route on the passive characterizations.
+func TestPassiveCharacterizationEndToEnd(t *testing.T) {
+	rt := tinyRuntime(t)
+	passive := rt.EnablePassiveCharacterization(24 * time.Hour)
+	azs := []string{"t1-slow", "t1-fast"}
+	err := rt.Do(func(p *sim.Proc) error {
+		// Profiling traffic doubles as passive observation.
+		if _, err := rt.ProfileWorkloads(p, []workload.ID{workload.MathService}, azs, 600); err != nil {
+			return err
+		}
+		refreshed := rt.RefreshPassive(azs, 100)
+		if len(refreshed) != 2 {
+			t.Fatalf("passively refreshed %v, want both zones", refreshed)
+		}
+		for _, az := range azs {
+			ch, ok := rt.Store().Get(az, rt.Env().Now())
+			if !ok {
+				t.Fatalf("%s: no stored characterization", az)
+			}
+			if ch.CostUSD != 0 {
+				t.Errorf("%s: passive characterization has cost %v", az, ch.CostUSD)
+			}
+			if ch.Samples < 100 {
+				t.Errorf("%s: only %d passive samples", az, ch.Samples)
+			}
+		}
+		// The passive characterizations are good enough to route on: the
+		// hybrid strategy still finds the fast zone.
+		res, err := rt.Run(p, router.BurstSpec{
+			Strategy:   router.Hybrid{},
+			Workload:   workload.MathService,
+			N:          200,
+			Candidates: azs,
+		})
+		if err != nil {
+			return err
+		}
+		if res.AZ != "t1-fast" {
+			t.Errorf("hybrid on passive data picked %s", res.AZ)
+		}
+		if got := passive.Samples("t1-slow", rt.Env().Now()); got == 0 {
+			t.Error("collector lost its observations")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshPassiveWithoutCollector(t *testing.T) {
+	rt := tinyRuntime(t)
+	if got := rt.RefreshPassive([]string{"t1-slow"}, 1); got != nil {
+		t.Fatalf("refresh without collector = %v", got)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"skyfaas/internal/router"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// TestDebugHybridLogReg mirrors one EX-5 day for logistic_regression and
+// dumps placement, so the hybrid economics stay observable.
+func TestDebugHybridLogReg(t *testing.T) {
+	rt, err := newRuntime(42, 4, sampleCfgDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := EX4Zones()
+	hop := []string{"us-west-1a", "us-west-1b", "sa-east-1a"}
+	err = rt.Do(func(p *sim.Proc) error {
+		if _, err := rt.ProfileWorkloads(p, []workload.ID{workload.LogisticRegression}, zones, 2000); err != nil {
+			return err
+		}
+		p.Sleep(6 * time.Minute)
+		if _, err := rt.Refresh(p, hop, 6); err != nil {
+			return err
+		}
+		for _, z := range hop {
+			ch, _ := rt.Store().Get(z, rt.Env().Now())
+			ms, _ := rt.Perf().ExpectedMS(workload.LogisticRegression, ch.Dist())
+			t.Logf("%s: dist=%s expectedMS=%.0f", z, ch.Dist(), ms)
+		}
+		for _, k := range rt.Perf().Kinds(workload.LogisticRegression) {
+			m, _ := rt.Perf().Mean(workload.LogisticRegression, k)
+			t.Logf("perf %v: mean=%.0f n=%d", k, m, rt.Perf().Samples(workload.LogisticRegression, k))
+		}
+		base, err := rt.Run(p, router.BurstSpec{
+			Strategy: router.Baseline{AZ: "us-west-1b"}, Workload: workload.LogisticRegression,
+			N: 1000, Candidates: hop,
+		})
+		if err != nil {
+			return err
+		}
+		t.Logf("baseline: cost=%.4f perCPU=%v meanMS=%.0f", base.CostUSD, base.PerCPU, base.MeanRunMS())
+		hyb, err := rt.Run(p, router.BurstSpec{
+			Strategy: router.Hybrid{}, Workload: workload.LogisticRegression,
+			N: 1000, Candidates: hop,
+		})
+		if err != nil {
+			return err
+		}
+		t.Logf("hybrid: az=%s cost=%.4f perCPU=%v meanMS=%.0f declined=%d elapsed=%v",
+			hyb.AZ, hyb.CostUSD, hyb.PerCPU, hyb.MeanRunMS(), hyb.Declined, hyb.Elapsed)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

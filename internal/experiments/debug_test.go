@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"skyfaas/internal/router"
+	"skyfaas/internal/sampler"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// TestDebugFocusBurst is a diagnostic: run one focus-fastest burst at paper
+// scale on us-west-1b and dump where work landed. Kept as a regular test so
+// the placement economics stay observable; assertions are loose.
+func TestDebugFocusBurst(t *testing.T) {
+	rt, err := newRuntime(42, 4, sampleCfgDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Do(func(p *sim.Proc) error {
+		if _, err := rt.Router().Profile(p, workload.Zipper, []string{"us-west-1b"}, 1200, 0); err != nil {
+			return err
+		}
+		p.Sleep(6 * time.Minute)
+		if _, err := rt.Refresh(p, []string{"us-west-1b"}, 6); err != nil {
+			return err
+		}
+		ch, _ := rt.Store().Get("us-west-1b", rt.Env().Now())
+		t.Logf("characterized dist: %s (samples %d)", ch.Dist(), ch.Samples)
+		t.Logf("true mix: %v", func() any { az, _ := rt.Cloud().AZ("us-west-1b"); return az.TrueMix() }())
+		t.Logf("perf kinds ranked: %v", rt.Perf().Kinds(workload.Zipper))
+
+		base, err := rt.Run(p, router.BurstSpec{
+			Strategy: router.Baseline{AZ: "us-west-1b"}, Workload: workload.Zipper, N: 1000,
+		})
+		if err != nil {
+			return err
+		}
+		t.Logf("baseline: cost=%.4f perCPU=%v meanMS=%.0f attempts=%d", base.CostUSD, base.PerCPU, base.MeanRunMS(), base.Attempts)
+
+		focus, err := rt.Run(p, router.BurstSpec{
+			Strategy: router.FocusFastest{AZ: "us-west-1b"}, Workload: workload.Zipper, N: 1000,
+		})
+		if err != nil {
+			return err
+		}
+		t.Logf("focus: cost=%.4f perCPU=%v meanMS=%.0f attempts=%d declined=%d failed=%d elapsed=%v",
+			focus.CostUSD, focus.PerCPU, focus.MeanRunMS(), focus.Attempts, focus.Declined, focus.Failed, focus.Elapsed)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleCfgDefault() sampler.Config { return sampler.Config{} }

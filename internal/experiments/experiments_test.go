@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/workload"
+)
+
+func TestZoneLists(t *testing.T) {
+	if len(EX3Zones()) != 11 {
+		t.Errorf("EX-3 zones = %d, want 11", len(EX3Zones()))
+	}
+	if len(EX4Zones()) != 5 {
+		t.Errorf("EX-4 zones = %d, want 5", len(EX4Zones()))
+	}
+	// Every listed zone exists in the catalog.
+	azs := map[string]bool{}
+	for _, r := range cloudsim.DefaultCatalog() {
+		for _, az := range r.AZs {
+			azs[az.Name] = true
+		}
+	}
+	for _, z := range append(EX3Zones(), EX4Zones()...) {
+		if !azs[z] {
+			t.Errorf("zone %s not in catalog", z)
+		}
+	}
+}
+
+func TestEX1Reduced(t *testing.T) {
+	res, err := RunEX1(EX1Config{Seed: 5}.Reduced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep) != 3 {
+		t.Fatalf("sweep points = %d", len(res.Sweep))
+	}
+	// Fig. 3 shape: longer sleeps cost more; coverage not lower.
+	if res.Sweep[2].CostUSD <= res.Sweep[0].CostUSD {
+		t.Errorf("cost not increasing with sleep: %+v", res.Sweep)
+	}
+	if res.Sweep[0].UniqueFIs > res.Sweep[1].UniqueFIs {
+		t.Errorf("short sleep covered more FIs: %+v", res.Sweep)
+	}
+	// Fig. 4 shape: early polls succeed, final polls mostly fail, and the
+	// second account fails immediately.
+	first := res.FirstAccount
+	if len(first) < 5 {
+		t.Fatalf("saturated after %d polls", len(first))
+	}
+	if first[0].FailFrac() > 0.05 {
+		t.Errorf("first poll failing already: %.2f", first[0].FailFrac())
+	}
+	if last := first[len(first)-1]; last.FailFrac() < 0.5 {
+		t.Errorf("final poll fail frac %.2f", last.FailFrac())
+	}
+	if len(res.SecondAccount) == 0 {
+		t.Fatal("no second-account polls")
+	}
+	if res.SecondAccount[0].FailFrac() < 0.5 {
+		t.Errorf("independent account first poll fail frac %.2f, want immediate saturation",
+			res.SecondAccount[0].FailFrac())
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig. 4") {
+		t.Error("render missing figure labels")
+	}
+}
+
+func TestEX2Reduced(t *testing.T) {
+	res, err := RunEX2(EX2Config{Seed: 5}.Reduced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 6 {
+		t.Fatalf("regions = %d", len(res.Regions))
+	}
+	byRegion := map[string]RegionChar{}
+	for _, rc := range res.Regions {
+		byRegion[rc.Region] = rc
+		if rc.Samples == 0 || len(rc.Dist) == 0 {
+			t.Errorf("%s: empty characterization", rc.Region)
+		}
+	}
+	// Paper facts visible through sampling alone:
+	if d := byRegion["us-west-2"].Dist; d.Share(cpu.Xeon30) <= d.Share(cpu.Xeon25) {
+		t.Errorf("us-west-2: 3.0GHz share %.2f not dominant", d.Share(cpu.Xeon30))
+	}
+	if d := byRegion["af-south-1"].Dist; d.Share(cpu.Xeon30) > 0 {
+		t.Errorf("af-south-1 shows a 3.0GHz share: %v", d)
+	}
+	if d := byRegion["il-central-1"].Dist; d.Share(cpu.EPYC) < 0.05 {
+		t.Errorf("il-central-1 EPYC share %.2f too low", d.Share(cpu.EPYC))
+	}
+	// IBM and DO zones show their own CPU families only.
+	for _, region := range []string{"us-south", "nyc1"} {
+		for kind := range byRegion[region].Dist {
+			if kind == cpu.Xeon25 || kind == cpu.Xeon30 || kind == cpu.EPYC {
+				t.Errorf("%s characterization contains AWS CPU %v", region, kind)
+			}
+		}
+	}
+	if res.TotalCost <= 0 {
+		t.Error("no sampling cost recorded")
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig. 2") {
+		t.Error("render missing figure label")
+	}
+}
+
+func TestEX3Reduced(t *testing.T) {
+	res, err := RunEX3(EX3Config{Seed: 5}.Reduced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Zones) != 4 {
+		t.Fatalf("zones = %d", len(res.Zones))
+	}
+	byZone := map[string]EX3Zone{}
+	for _, z := range res.Zones {
+		byZone[z.AZ] = z
+		if z.PollsToSaturation < 2 {
+			t.Errorf("%s saturated after %d polls", z.AZ, z.PollsToSaturation)
+		}
+		// Errors converge: the final prefix (the truth itself) is ~0.
+		if final := z.APEByPoll[len(z.APEByPoll)-1]; final > 1e-9 {
+			t.Errorf("%s: final APE %.2f, want 0 vs own truth", z.AZ, final)
+		}
+	}
+	// us-east-2a is single-CPU: 0%% error from the first poll.
+	if z := byZone["us-east-2a"]; z.SinglePollAPE > 1e-9 {
+		t.Errorf("us-east-2a single-poll APE = %.2f, want 0", z.SinglePollAPE)
+	}
+	// us-east-2b (coarse hosts, diverse mix) has the worst single-poll APE.
+	worst := ""
+	worstAPE := -1.0
+	for az, z := range byZone {
+		if z.SinglePollAPE > worstAPE {
+			worst, worstAPE = az, z.SinglePollAPE
+		}
+	}
+	if worst != "us-east-2b" {
+		t.Errorf("worst single-poll zone = %s (%.1f%%), want us-east-2b", worst, worstAPE)
+	}
+	// eu-north-1a (small pool) fails far earlier than us-west-1a.
+	if byZone["eu-north-1a"].CallsToFailure*2 > byZone["us-west-1a"].CallsToFailure {
+		t.Errorf("failure points: eu-north-1a %d vs us-west-1a %d",
+			byZone["eu-north-1a"].CallsToFailure, byZone["us-west-1a"].CallsToFailure)
+	}
+	if res.MeanPollsTo95 <= 0 {
+		t.Error("mean polls to 95 missing")
+	}
+}
+
+func TestEX4Reduced(t *testing.T) {
+	res, err := RunEX4(EX4Config{Seed: 5}.Reduced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByZone["us-west-1a"]) != 5 || len(res.ByZone["sa-east-1a"]) != 5 {
+		t.Fatalf("round counts: %d / %d", len(res.ByZone["us-west-1a"]), len(res.ByZone["sa-east-1a"]))
+	}
+	// Temporal classes: the volatile zone wanders from day 1 more than the
+	// stable zone does.
+	maxAPE := func(az string) float64 {
+		best := 0.0
+		for _, r := range res.ByZone[az][1:] {
+			if r.APEVsDay1 > best {
+				best = r.APEVsDay1
+			}
+		}
+		return best
+	}
+	volatileMax, stableMax := maxAPE("us-west-1a"), maxAPE("sa-east-1a")
+	if stableMax > 12 {
+		t.Errorf("sa-east-1a drifted %.1f%% from day 1, want <= ~10%%", stableMax)
+	}
+	if volatileMax <= stableMax {
+		t.Errorf("us-west-1a max drift %.1f%% not above sa-east-1a %.1f%%", volatileMax, stableMax)
+	}
+	// Accuracy thresholds are ordered.
+	if !(res.MeanPollsTo85 <= res.MeanPollsTo90 && res.MeanPollsTo90 <= res.MeanPollsTo95 &&
+		res.MeanPollsTo95 <= res.MeanPollsTo99) {
+		t.Errorf("threshold ordering: 85=%.1f 90=%.1f 95=%.1f 99=%.1f",
+			res.MeanPollsTo85, res.MeanPollsTo90, res.MeanPollsTo95, res.MeanPollsTo99)
+	}
+	// Fig. 8: hourly series exists; most hours near the baseline.
+	if len(res.HourlyAPE) != 6 {
+		t.Fatalf("hourly points = %d", len(res.HourlyAPE))
+	}
+	if res.HourlyWithin10 < len(res.HourlyAPE)/2 {
+		t.Errorf("only %d/%d hours within 10%%", res.HourlyWithin10, len(res.HourlyAPE))
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig. 6") {
+		t.Error("render missing figure label")
+	}
+}
+
+func TestEX5Reduced(t *testing.T) {
+	res, err := RunEX5(EX5Config{Seed: 5}.Reduced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 9 shape for the evaluated workloads.
+	for _, w := range []workload.ID{workload.Zipper, workload.LogisticRegression} {
+		norm := res.NormalizedPerf[w]
+		if norm == nil {
+			t.Fatalf("no learned profile for %s", w)
+		}
+		if norm[cpu.Xeon30] >= 1 {
+			t.Errorf("%s: learned 3.0GHz factor %.2f, want < 1", w, norm[cpu.Xeon30])
+		}
+		if norm[cpu.EPYC] <= 1.1 {
+			t.Errorf("%s: learned EPYC factor %.2f, want clearly slower", w, norm[cpu.EPYC])
+		}
+	}
+	// Fig. 10 shape: both retry variants save vs baseline; focus-fastest
+	// saves more and retries more.
+	slow, focus := res.ZipperRetrySlow, res.ZipperFocusFastest
+	if slow.Cumulative() <= 0 {
+		t.Errorf("retry-slow cumulative savings %.3f", slow.Cumulative())
+	}
+	if focus.Cumulative() <= slow.Cumulative() {
+		t.Errorf("focus-fastest %.3f not above retry-slow %.3f", focus.Cumulative(), slow.Cumulative())
+	}
+	if focus.MaxRetryFrac() <= slow.MaxRetryFrac() {
+		t.Errorf("focus retries %.2f not above retry-slow %.2f", focus.MaxRetryFrac(), slow.MaxRetryFrac())
+	}
+	// Fig. 11 shape: hybrid saves vs the fixed zone.
+	if res.LogRegHybrid.Cumulative() <= 0 {
+		t.Errorf("logreg hybrid savings %.3f", res.LogRegHybrid.Cumulative())
+	}
+	// Headline: positive average savings, sampling spend small.
+	if res.AvgHybridSavings <= 0.02 {
+		t.Errorf("avg hybrid savings %.3f", res.AvgHybridSavings)
+	}
+	if res.SamplingSpendUSD <= 0 {
+		t.Error("no sampling spend recorded")
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig. 10") || !strings.Contains(out, "Fig. 11") {
+		t.Error("render missing figure labels")
+	}
+}

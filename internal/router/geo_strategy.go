@@ -1,0 +1,189 @@
+package router
+
+import (
+	"time"
+
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+)
+
+// This file implements the routing refinements §3.4 sketches around the
+// core strategies: bounding the added network latency with the
+// client–region distance heuristic, and optimizing dollars rather than
+// milliseconds when providers price differently.
+
+// LatencyBound wraps an inner strategy and removes candidate zones whose
+// round trip from the client exceeds MaxRTT — the paper's prior system
+// "bounded network latency with a client-region distance heuristic", and
+// §3.5 notes regional routing trades latency for billed-runtime savings.
+type LatencyBound struct {
+	// Inner decides among the zones that survive the latency filter
+	// (default Hybrid{}).
+	Inner Strategy
+	// Client is the request origin.
+	Client geo.Coord
+	// MaxRTT is the highest acceptable round trip (default 120 ms).
+	MaxRTT time.Duration
+	// Locator resolves a zone to its region location; wire it to
+	// Cloud-backed lookup via NewZoneLocator.
+	Locator ZoneLocator
+	// Model converts distance to RTT (zero value = DefaultLatencyModel).
+	Model geo.LatencyModel
+}
+
+// ZoneLocator resolves a zone name to its region's coordinates.
+type ZoneLocator func(az string) (geo.Coord, bool)
+
+// NewZoneLocator builds a ZoneLocator over a cloud's catalog.
+func NewZoneLocator(c *cloudsim.Cloud) ZoneLocator {
+	return func(azName string) (geo.Coord, bool) {
+		az, ok := c.AZ(azName)
+		if !ok {
+			return geo.Coord{}, false
+		}
+		return az.Region().Loc(), true
+	}
+}
+
+func (l LatencyBound) inner() Strategy {
+	if l.Inner == nil {
+		return Hybrid{}
+	}
+	return l.Inner
+}
+
+func (l LatencyBound) maxRTT() time.Duration {
+	if l.MaxRTT == 0 {
+		return 120 * time.Millisecond
+	}
+	return l.MaxRTT
+}
+
+func (l LatencyBound) model() geo.LatencyModel {
+	if l.Model == (geo.LatencyModel{}) {
+		return geo.DefaultLatencyModel()
+	}
+	return l.Model
+}
+
+// Name implements Strategy.
+func (l LatencyBound) Name() string { return "latency-bound+" + l.inner().Name() }
+
+// filter returns the candidates within the RTT bound. If none qualify the
+// original list is kept — a too-strict bound should degrade to the inner
+// strategy, not strand the burst.
+func (l LatencyBound) filter(candidates []string) []string {
+	if l.Locator == nil {
+		return candidates
+	}
+	model := l.model()
+	var kept []string
+	for _, az := range candidates {
+		loc, ok := l.Locator(az)
+		if !ok {
+			continue
+		}
+		if model.BaseRTT(l.Client, loc) <= l.maxRTT() {
+			kept = append(kept, az)
+		}
+	}
+	if len(kept) == 0 {
+		return candidates
+	}
+	return kept
+}
+
+// PickAZ implements Strategy.
+func (l LatencyBound) PickAZ(dec Decision) string {
+	dec.Candidates = l.filter(dec.Candidates)
+	return l.inner().PickAZ(dec)
+}
+
+// Ban implements Strategy.
+func (l LatencyBound) Ban(dec Decision, az string) map[cpu.Kind]bool {
+	dec.Candidates = l.filter(dec.Candidates)
+	return l.inner().Ban(dec, az)
+}
+
+// ---------------------------------------------------------------------------
+
+// CostAware routes to the candidate zone with the lowest expected *dollar*
+// cost instead of the lowest expected runtime. The two differ across
+// providers: a slower zone with a cheaper rate card or smaller memory grain
+// can win on price (visible in the multicloud example). Within one
+// provider and memory setting it reduces to Regional.
+type CostAware struct {
+	// MemoryMB is the deployment size the estimate assumes (default 4096).
+	MemoryMB int
+	// Pricer returns the rate card for a zone; wire via NewZonePricer.
+	Pricer ZonePricer
+}
+
+// ZonePricer resolves a zone to its provider's price model.
+type ZonePricer func(az string) (cloudsim.PriceModel, bool)
+
+// NewZonePricer builds a ZonePricer over a cloud's catalog.
+func NewZonePricer(c *cloudsim.Cloud) ZonePricer {
+	return func(azName string) (cloudsim.PriceModel, bool) {
+		az, ok := c.AZ(azName)
+		if !ok {
+			return cloudsim.PriceModel{}, false
+		}
+		return c.Price(az.Region().Provider()), true
+	}
+}
+
+// Name implements Strategy.
+func (CostAware) Name() string { return "cost-aware" }
+
+// PickAZ implements Strategy.
+func (c CostAware) PickAZ(dec Decision) string {
+	if len(dec.Candidates) == 0 {
+		return ""
+	}
+	mem := c.MemoryMB
+	if mem == 0 {
+		mem = 4096
+	}
+	best := ""
+	bestCost := 0.0
+	for _, az := range dec.Candidates {
+		d, ok := dec.dist(az)
+		if !ok {
+			continue
+		}
+		ms, ok := dec.Perf.ExpectedMS(dec.Workload, d)
+		if !ok {
+			continue
+		}
+		price := cloudsim.PriceModel{}
+		if c.Pricer != nil {
+			if p, ok := c.Pricer(az); ok {
+				price = p
+			}
+		}
+		cost := ms // no pricer: fall back to runtime comparison
+		if price != (cloudsim.PriceModel{}) {
+			cost = price.Cost(mem, ms)
+		}
+		if best == "" || cost < bestCost {
+			best, bestCost = az, cost
+		}
+	}
+	if best == "" {
+		return dec.Candidates[0]
+	}
+	return best
+}
+
+// Ban implements Strategy: cost-aware placement keeps the hybrid retry
+// logic inside the chosen zone.
+func (c CostAware) Ban(dec Decision, az string) map[cpu.Kind]bool {
+	return optimalBanSet(dec, az, 150)
+}
+
+var (
+	_ Strategy = LatencyBound{}
+	_ Strategy = CostAware{}
+)

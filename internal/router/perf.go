@@ -1,0 +1,140 @@
+package router
+
+import (
+	"sort"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/stats"
+	"skyfaas/internal/workload"
+)
+
+// PerfModel accumulates observed runtimes per (workload, CPU kind) — the
+// profiling data of EX-5's baseline step. All knowledge in the model comes
+// from SAAF reports of real (simulated) executions; it never peeks at the
+// simulator's ground truth.
+type PerfModel struct {
+	byWorkload map[workload.ID]map[cpu.Kind]*stats.Running
+}
+
+// NewPerfModel returns an empty model.
+func NewPerfModel() *PerfModel {
+	return &PerfModel{byWorkload: make(map[workload.ID]map[cpu.Kind]*stats.Running)}
+}
+
+// Observe folds one execution's billed runtime into the model.
+func (m *PerfModel) Observe(w workload.ID, k cpu.Kind, runtimeMS float64) {
+	byKind, ok := m.byWorkload[w]
+	if !ok {
+		byKind = make(map[cpu.Kind]*stats.Running)
+		m.byWorkload[w] = byKind
+	}
+	r, ok := byKind[k]
+	if !ok {
+		r = &stats.Running{}
+		byKind[k] = r
+	}
+	r.Add(runtimeMS)
+}
+
+// Mean returns the observed mean runtime of w on k.
+func (m *PerfModel) Mean(w workload.ID, k cpu.Kind) (float64, bool) {
+	if byKind, ok := m.byWorkload[w]; ok {
+		if r, ok := byKind[k]; ok && r.N() > 0 {
+			return r.Mean(), true
+		}
+	}
+	return 0, false
+}
+
+// Samples returns how many observations back the (w, k) estimate.
+func (m *PerfModel) Samples(w workload.ID, k cpu.Kind) int {
+	if byKind, ok := m.byWorkload[w]; ok {
+		if r, ok := byKind[k]; ok {
+			return r.N()
+		}
+	}
+	return 0
+}
+
+// Kinds returns the CPU kinds with observations for w, sorted fastest
+// (lowest mean runtime) first.
+func (m *PerfModel) Kinds(w workload.ID) []cpu.Kind {
+	byKind, ok := m.byWorkload[w]
+	if !ok {
+		return nil
+	}
+	kinds := make([]cpu.Kind, 0, len(byKind))
+	for k, r := range byKind {
+		if r.N() > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		mi, _ := m.Mean(w, kinds[i])
+		mj, _ := m.Mean(w, kinds[j])
+		if mi != mj {
+			return mi < mj
+		}
+		return kinds[i] < kinds[j]
+	})
+	return kinds
+}
+
+// Normalized returns mean runtimes of w relative to the reference Xeon
+// 2.50 GHz (Fig. 9's presentation). Kinds without observations are absent;
+// returns nil when the reference itself is unobserved.
+func (m *PerfModel) Normalized(w workload.ID) map[cpu.Kind]float64 {
+	ref, ok := m.Mean(w, cpu.Xeon25)
+	if !ok || ref == 0 {
+		return nil
+	}
+	out := make(map[cpu.Kind]float64)
+	for k := range m.byWorkload[w] {
+		if mean, ok := m.Mean(w, k); ok {
+			out[k] = mean / ref
+		}
+	}
+	return out
+}
+
+// ExpectedMS returns the expected runtime of w over a zone's CPU
+// distribution: the share-weighted mean. Kinds without observations fall
+// back to the overall observed mean so one gap does not poison the
+// comparison; ok is false when nothing is observed at all.
+func (m *PerfModel) ExpectedMS(w workload.ID, d charact.Dist) (float64, bool) {
+	byKind, ok := m.byWorkload[w]
+	if !ok || len(byKind) == 0 {
+		return 0, false
+	}
+	// Sums run in catalog order so rounding is identical on every run.
+	var overallSum float64
+	var overallN int
+	for _, k := range cpu.Kinds() {
+		if r, ok := byKind[k]; ok {
+			overallSum += r.Mean() * float64(r.N())
+			overallN += r.N()
+		}
+	}
+	if overallN == 0 {
+		return 0, false
+	}
+	overall := overallSum / float64(overallN)
+	var expected, covered float64
+	for _, k := range cpu.Kinds() {
+		share := d.Share(k)
+		if share <= 0 {
+			continue
+		}
+		mean, ok := m.Mean(w, k)
+		if !ok {
+			mean = overall
+		}
+		expected += share * mean
+		covered += share
+	}
+	if covered == 0 {
+		return overall, true
+	}
+	return expected / covered, true
+}

@@ -1,0 +1,78 @@
+package router
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/workload"
+)
+
+func TestPerfModelSaveLoadRoundTrip(t *testing.T) {
+	m := NewPerfModel()
+	for i := 0; i < 100; i++ {
+		m.Observe(workload.Zipper, cpu.Xeon25, 4000+float64(i))
+		m.Observe(workload.Zipper, cpu.Xeon30, 3400+float64(i))
+	}
+	m.Observe(workload.LogisticRegression, cpu.EPYC, 9800)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"zipper"`) {
+		t.Errorf("serialized form lacks workload names:\n%s", buf.String())
+	}
+	back, err := LoadPerfModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []cpu.Kind{cpu.Xeon25, cpu.Xeon30} {
+		origMean, _ := m.Mean(workload.Zipper, k)
+		gotMean, ok := back.Mean(workload.Zipper, k)
+		if !ok {
+			t.Fatalf("%v missing after load", k)
+		}
+		if math.Abs(gotMean-origMean) > 1e-6 {
+			t.Errorf("%v mean %v vs %v", k, gotMean, origMean)
+		}
+		if back.Samples(workload.Zipper, k) != 100 {
+			t.Errorf("%v samples = %d", k, back.Samples(workload.Zipper, k))
+		}
+	}
+	// Ranking survives.
+	kinds := back.Kinds(workload.Zipper)
+	if len(kinds) != 2 || kinds[0] != cpu.Xeon30 {
+		t.Errorf("ranking after load = %v", kinds)
+	}
+	if _, ok := back.Mean(workload.LogisticRegression, cpu.EPYC); !ok {
+		t.Error("second workload missing")
+	}
+}
+
+func TestLoadPerfModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadPerfModel(strings.NewReader("]")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := LoadPerfModel(strings.NewReader(
+		`{"workloads":[{"workload":"quantum_sort","kinds":[]}]}`)); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := LoadPerfModel(strings.NewReader(
+		`{"workloads":[{"workload":"zipper","kinds":[{"cpuModel":"Mystery","n":1,"meanMS":5}]}]}`)); err == nil {
+		t.Fatal("unknown CPU model accepted")
+	}
+}
+
+func TestLoadPerfModelSkipsEmptyEntries(t *testing.T) {
+	back, err := LoadPerfModel(strings.NewReader(
+		`{"workloads":[{"workload":"zipper","kinds":[{"cpuModel":"AMD EPYC","n":0,"meanMS":5}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Mean(workload.Zipper, cpu.EPYC); ok {
+		t.Fatal("zero-sample entry loaded")
+	}
+}

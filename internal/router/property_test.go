@@ -1,0 +1,115 @@
+package router
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/rng"
+	"skyfaas/internal/workload"
+)
+
+// Property: ExpectedMS always lies between the fastest and slowest observed
+// means when the distribution only covers observed kinds.
+func TestExpectedMSBoundsProperty(t *testing.T) {
+	kinds := []cpu.Kind{cpu.Xeon25, cpu.Xeon29, cpu.Xeon30, cpu.EPYC}
+	if err := quick.Check(func(seed uint64) bool {
+		s := rng.New(seed)
+		m := NewPerfModel()
+		d := make(charact.Dist)
+		minMean, maxMean := math.Inf(1), math.Inf(-1)
+		for _, k := range kinds {
+			mean := 1000 + s.Float64()*9000
+			for i := 0; i < 3; i++ {
+				m.Observe(workload.Zipper, k, mean)
+			}
+			d[k] = s.Float64() + 0.01
+			minMean = math.Min(minMean, mean)
+			maxMean = math.Max(maxMean, mean)
+		}
+		got, ok := m.ExpectedMS(workload.Zipper, d)
+		if !ok {
+			return false
+		}
+		return got >= minMean-1e-6 && got <= maxMean+1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Kinds() is always sorted by ascending mean runtime.
+func TestKindsRankingProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		s := rng.New(seed)
+		m := NewPerfModel()
+		all := cpu.Kinds()
+		n := int(nRaw%uint8(len(all))) + 1
+		for i := 0; i < n; i++ {
+			m.Observe(workload.GraphBFS, all[i], 500+s.Float64()*5000)
+		}
+		ranked := m.Kinds(workload.GraphBFS)
+		if len(ranked) != n {
+			return false
+		}
+		for i := 1; i < len(ranked); i++ {
+			prev, _ := m.Mean(workload.GraphBFS, ranked[i-1])
+			cur, _ := m.Mean(workload.GraphBFS, ranked[i])
+			if prev > cur {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimalBanSet never bans the fastest present kind, and whatever
+// it bans always leaves positive share to run on.
+func TestOptimalBanSetSafetyProperty(t *testing.T) {
+	kinds := []cpu.Kind{cpu.Xeon25, cpu.Xeon29, cpu.Xeon30, cpu.EPYC}
+	if err := quick.Check(func(seed uint64) bool {
+		s := rng.New(seed)
+		shares := map[cpu.Kind]float64{}
+		means := map[cpu.Kind]float64{}
+		for _, k := range kinds {
+			shares[k] = s.Float64() + 0.01
+			means[k] = 1000 + s.Float64()*9000
+		}
+		dec := mkDecisionQuick(shares, means)
+		banned := optimalBanSet(dec, "z", 150)
+		d, _ := dec.dist("z")
+		ranked := dec.Perf.Kinds(workload.Zipper)
+		if len(ranked) > 0 && banned[ranked[0]] {
+			return false // fastest banned
+		}
+		var kept float64
+		for _, k := range kinds {
+			if !banned[k] {
+				kept += d.Share(k)
+			}
+		}
+		return kept > 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mkDecisionQuick is the non-testing.T variant of mkDecision for
+// quick.Check bodies.
+func mkDecisionQuick(shares map[cpu.Kind]float64, means map[cpu.Kind]float64) Decision {
+	store := charact.NewStore(0)
+	counts := make(charact.Counts)
+	for k, s := range shares {
+		counts[k] = int(s*1000) + 1
+	}
+	perf := NewPerfModel()
+	for k, m := range means {
+		perf.Observe(workload.Zipper, k, m)
+	}
+	ch := charact.Characterization{AZ: "z", Counts: counts}
+	store.Put(ch)
+	return Decision{Workload: workload.Zipper, Store: store, Perf: perf}
+}

@@ -1,0 +1,303 @@
+// Package router is the smart routing system (§3.4–3.5): it consumes
+// per-zone CPU characterizations and per-workload performance profiles to
+// place bursts of function invocations on the best available hardware via
+// regional routing, CPU-banning retries, or both (hybrid).
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/faas"
+	"skyfaas/internal/mesh"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// Router executes workload bursts over the sky mesh.
+type Router struct {
+	client  *faas.Client
+	mesh    *mesh.Mesh
+	store   *charact.Store
+	perf    *PerfModel
+	passive *charact.Passive
+}
+
+// New assembles a router.
+func New(client *faas.Client, m *mesh.Mesh, store *charact.Store, perf *PerfModel) *Router {
+	return &Router{client: client, mesh: m, store: store, perf: perf}
+}
+
+// UsePassive attaches a passive characterization collector: every response
+// the router sees (profiling runs, burst completions, and even declines)
+// feeds it, so zones carrying traffic can be characterized without paying
+// for polls (§4.6's future work).
+func (r *Router) UsePassive(p *charact.Passive) { r.passive = p }
+
+// Passive returns the attached collector (nil when unset).
+func (r *Router) Passive() *charact.Passive { return r.passive }
+
+// observePassive feeds one response into the passive collector.
+func (r *Router) observePassive(az string, resp cloudsim.Response) {
+	if r.passive == nil || !resp.OK() {
+		return
+	}
+	r.passive.Observe(az, resp.Ended, resp.FI, resp.Profile.Kind)
+}
+
+// Perf exposes the router's performance model.
+func (r *Router) Perf() *PerfModel { return r.perf }
+
+// Store exposes the router's characterization store.
+func (r *Router) Store() *charact.Store { return r.store }
+
+// BurstSpec describes one batch of invocations.
+type BurstSpec struct {
+	Strategy Strategy
+	Workload workload.ID
+	// N is the number of invocations that must complete.
+	N int
+	// Candidates are the zones the strategy may choose among.
+	Candidates []string
+	// MemoryMB selects the mesh endpoint (default 4096, enough for the
+	// 2-vCPU Table-1 workloads to run unstarved).
+	MemoryMB int
+	// HoldMS is the decline hold (default 150, the paper's value).
+	HoldMS float64
+	// GiveUp bounds how long the burst keeps retrying before running the
+	// stragglers unbanned (default 2 min). Decline cascades through the
+	// warm pool can pile onto individual slots, so the escape hatch is
+	// burst-level wall time, not a per-slot retry count.
+	GiveUp time.Duration
+	// Learn feeds observed runtimes back into the perf model (passive
+	// profiling; default off so experiments control their training data).
+	Learn bool
+}
+
+func (s BurstSpec) withDefaults() BurstSpec {
+	if s.MemoryMB == 0 {
+		s.MemoryMB = 4096
+	}
+	if s.HoldMS == 0 {
+		s.HoldMS = 150
+	}
+	if s.GiveUp == 0 {
+		s.GiveUp = 2 * time.Minute
+	}
+	return s
+}
+
+// BurstResult summarizes one burst.
+type BurstResult struct {
+	Strategy  string
+	Workload  workload.ID
+	AZ        string
+	N         int
+	Completed int
+	// Attempts counts every invocation issued, including declines and
+	// platform failures.
+	Attempts int
+	Declined int
+	Failed   int
+	// PerCPU tallies where completed work finally ran.
+	PerCPU map[cpu.Kind]int
+	// TotalRunMS sums the billed runtime of completed executions only.
+	TotalRunMS float64
+	// CostUSD is the total spend including decline holds.
+	CostUSD float64
+	// Elapsed is wall (virtual) time from burst start to last completion.
+	Elapsed time.Duration
+}
+
+// MeanRunMS is the mean billed runtime of completed executions.
+func (b BurstResult) MeanRunMS() float64 {
+	if b.Completed == 0 {
+		return 0
+	}
+	return b.TotalRunMS / float64(b.Completed)
+}
+
+// RetryFrac is the fraction of placements that were declined and retried
+// (throttle reissues excluded — they never reached an instance).
+func (b BurstResult) RetryFrac() float64 {
+	placed := b.Declined + b.Completed
+	if placed == 0 {
+		return 0
+	}
+	return float64(b.Declined) / float64(placed)
+}
+
+// Burst executes spec from the calling process and returns when all N
+// invocations have completed.
+//
+// Retries stream: the moment a decline arrives the slot is reissued, while
+// the declining instance is still held busy (§3.5's 150 ms hold), so the
+// reissue cannot land back on it. Once the burst has been retrying for
+// GiveUp, stragglers are reissued without bans so the burst always
+// completes. Platform failures (throttle/saturation) back off briefly
+// before reissue.
+func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
+	spec = spec.withDefaults()
+	if spec.Strategy == nil {
+		return BurstResult{}, fmt.Errorf("router: nil strategy")
+	}
+	if spec.N <= 0 {
+		return BurstResult{}, fmt.Errorf("router: non-positive burst size")
+	}
+	env := r.client.Cloud().Env()
+	dec := Decision{
+		Workload:   spec.Workload,
+		Candidates: spec.Candidates,
+		Store:      r.store,
+		Perf:       r.perf,
+		Now:        env.Now(),
+	}
+	az := spec.Strategy.PickAZ(dec)
+	if az == "" {
+		return BurstResult{}, fmt.Errorf("router: strategy %q picked no zone", spec.Strategy.Name())
+	}
+	ep, ok := r.mesh.Nearest(az, spec.MemoryMB, cpu.X86)
+	if !ok {
+		return BurstResult{}, fmt.Errorf("router: no mesh endpoint in %s", az)
+	}
+	banned := spec.Strategy.Ban(dec, az)
+
+	res := BurstResult{
+		Strategy: spec.Strategy.Name(),
+		Workload: spec.Workload,
+		AZ:       az,
+		N:        spec.N,
+		PerCPU:   make(map[cpu.Kind]int),
+	}
+	start := env.Now()
+	giveUpAt := start.Add(spec.GiveUp)
+	done := sim.NewEvent(env)
+
+	// The client paces itself under the platform's concurrency quota:
+	// at most maxOutstanding requests are in flight; further slots queue.
+	maxOutstanding := r.client.Cloud().Options().Quota - 50
+	if maxOutstanding < 1 {
+		maxOutstanding = 1
+	}
+	outstanding := 0
+	queued := 0
+	var issue func()
+	pump := func() {
+		for outstanding < maxOutstanding && queued > 0 {
+			queued--
+			outstanding++
+			issue()
+		}
+	}
+	issue = func() {
+		slotBans := banned
+		if env.Now().After(giveUpAt) {
+			slotBans = nil // guarantee completion
+		}
+		r.client.Start(faas.Call{
+			AZ:       az,
+			Function: ep.Function,
+			Work: cloudsim.ProbeBehavior{
+				Work:   cloudsim.WorkBehavior{Workload: spec.Workload},
+				Banned: slotBans,
+				HoldMS: spec.HoldMS,
+			},
+		}, func(resp cloudsim.Response) {
+			res.Attempts++
+			res.CostUSD += resp.CostUSD
+			outstanding--
+			r.observePassive(az, resp)
+			if !resp.OK() {
+				res.Failed++
+				queued++
+				env.Schedule(50*time.Millisecond, pump)
+				return
+			}
+			outcome, ok := resp.Value.(cloudsim.ProbeOutcome)
+			if !ok {
+				res.Failed++
+				queued++
+				env.Schedule(50*time.Millisecond, pump)
+				return
+			}
+			if !outcome.Ran {
+				res.Declined++
+				queued++
+				pump() // reissue while the declining FI is held
+				return
+			}
+			res.Completed++
+			res.PerCPU[resp.Profile.Kind]++
+			res.TotalRunMS += resp.BilledMS
+			if spec.Learn {
+				r.perf.Observe(spec.Workload, resp.Profile.Kind, resp.BilledMS)
+			}
+			if res.Completed == spec.N {
+				done.Trigger(nil)
+				return
+			}
+			pump()
+		})
+	}
+	queued = spec.N
+	pump()
+	p.Wait(done)
+	res.Elapsed = env.Now().Sub(start)
+	return res, nil
+}
+
+// Profile runs n unrestricted executions of w in each zone and feeds the
+// observed per-CPU runtimes into the perf model — EX-5's baseline
+// profiling step. It returns the total profiling spend.
+//
+// Batches are separated by more than the instance keep-alive: back-to-back
+// batches would reuse the same warm instances on the same few (bin-packed)
+// hosts and only ever observe one CPU type, whereas spacing batches lets
+// each one land on freshly chosen hosts — this temporal spreading is how
+// the paper's 10,000-run profiling covered each zone's hardware spectrum.
+func (r *Router) Profile(p *sim.Proc, w workload.ID, azs []string, nPerAZ, memoryMB int) (float64, error) {
+	if memoryMB == 0 {
+		memoryMB = 4096
+	}
+	keepAlive := r.client.Cloud().Options().KeepAlive
+	var cost float64
+	for _, az := range azs {
+		ep, ok := r.mesh.Nearest(az, memoryMB, cpu.X86)
+		if !ok {
+			return cost, fmt.Errorf("router: no mesh endpoint in %s", az)
+		}
+		const lane = 150
+		remaining := nPerAZ
+		for remaining > 0 {
+			batch := lane
+			if batch > remaining {
+				batch = remaining
+			}
+			futures := make([]*faas.Future, batch)
+			for i := range futures {
+				futures[i] = r.client.InvokeAsync(faas.Call{
+					AZ:       az,
+					Function: ep.Function,
+					Work:     cloudsim.WorkBehavior{Workload: w},
+				})
+			}
+			for _, f := range futures {
+				resp := f.Wait(p)
+				if !resp.OK() {
+					continue
+				}
+				cost += resp.CostUSD
+				r.perf.Observe(w, resp.Profile.Kind, resp.BilledMS)
+				r.observePassive(az, resp)
+			}
+			remaining -= batch
+			if remaining > 0 {
+				p.Sleep(keepAlive + time.Minute)
+			}
+		}
+	}
+	return cost, nil
+}

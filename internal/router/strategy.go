@@ -1,0 +1,354 @@
+package router
+
+import (
+	"time"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/workload"
+)
+
+// Strategy decides where a burst runs and which CPUs it refuses to run on.
+// The three paper strategies (§3.5) plus the fixed baseline are provided;
+// all decisions consume only characterization-store and perf-model data.
+type Strategy interface {
+	// Name labels the strategy in experiment output.
+	Name() string
+	// PickAZ chooses the zone for a burst from the candidates.
+	PickAZ(dec Decision) string
+	// Ban returns the CPU kinds the workload must not run on in the
+	// chosen zone (the retry set).
+	Ban(dec Decision, az string) map[cpu.Kind]bool
+}
+
+// Decision carries everything a strategy may consult.
+type Decision struct {
+	Workload   workload.ID
+	Candidates []string
+	Store      *charact.Store
+	Perf       *PerfModel
+	Now        time.Time
+}
+
+// dist returns the fresh characterization of az, if any.
+func (d Decision) dist(az string) (charact.Dist, bool) {
+	ch, ok := d.Store.Get(az, d.Now)
+	if !ok {
+		return nil, false
+	}
+	return ch.Dist(), true
+}
+
+// ---------------------------------------------------------------------------
+
+// Baseline pins every burst to one zone with no retries — the paper's
+// comparison point.
+type Baseline struct {
+	AZ string
+}
+
+// Name implements Strategy.
+func (b Baseline) Name() string { return "baseline" }
+
+// PickAZ implements Strategy.
+func (b Baseline) PickAZ(Decision) string { return b.AZ }
+
+// Ban implements Strategy.
+func (b Baseline) Ban(Decision, string) map[cpu.Kind]bool { return nil }
+
+// ---------------------------------------------------------------------------
+
+// Regional routes each burst to the candidate zone with the best expected
+// runtime under its current characterization ("region hopping"). No
+// retries.
+type Regional struct{}
+
+// Name implements Strategy.
+func (Regional) Name() string { return "regional" }
+
+// PickAZ implements Strategy.
+func (Regional) PickAZ(dec Decision) string { return bestAZ(dec) }
+
+// Ban implements Strategy.
+func (Regional) Ban(Decision, string) map[cpu.Kind]bool { return nil }
+
+// bestAZ returns the candidate with the lowest expected runtime; zones
+// without fresh characterizations are considered last. Falls back to the
+// first candidate.
+func bestAZ(dec Decision) string {
+	if len(dec.Candidates) == 0 {
+		return ""
+	}
+	best := ""
+	bestMS := 0.0
+	for _, az := range dec.Candidates {
+		d, ok := dec.dist(az)
+		if !ok {
+			continue
+		}
+		ms, ok := dec.Perf.ExpectedMS(dec.Workload, d)
+		if !ok {
+			continue
+		}
+		if best == "" || ms < bestMS {
+			best, bestMS = az, ms
+		}
+	}
+	if best == "" {
+		return dec.Candidates[0]
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+
+// RetrySlow pins bursts to one zone and retries invocations landing on the
+// slowest CPUs (typically AMD EPYC and the 2.9 GHz Xeon).
+type RetrySlow struct {
+	AZ string
+	// SlowCount is how many of the slowest observed kinds to ban
+	// (default 2, the paper's configuration).
+	SlowCount int
+}
+
+// Name implements Strategy.
+func (RetrySlow) Name() string { return "retry-slow" }
+
+// PickAZ implements Strategy.
+func (r RetrySlow) PickAZ(Decision) string { return r.AZ }
+
+// Ban implements Strategy.
+func (r RetrySlow) Ban(dec Decision, az string) map[cpu.Kind]bool {
+	n := r.SlowCount
+	if n == 0 {
+		n = 2
+	}
+	return banSlowest(dec, az, n)
+}
+
+// banSlowest bans up to the n slowest kinds present in the zone, under
+// three guards: never the fastest present kind, never a kind so close to
+// the fastest that retrying off it cannot repay the decline hold, and never
+// so much of the zone that fewer than ~30% of placements can run — the
+// paper's "only banning very poorly performing CPUs" mitigation.
+func banSlowest(dec Decision, az string, n int) map[cpu.Kind]bool {
+	const minKeptShare = 0.3
+	d, ok := dec.dist(az)
+	if !ok {
+		return nil
+	}
+	ranked := dec.Perf.Kinds(dec.Workload) // fastest first
+	present := make([]cpu.Kind, 0, len(ranked))
+	for _, k := range ranked {
+		if d.Share(k) > 0 {
+			present = append(present, k)
+		}
+	}
+	if len(present) <= 1 {
+		return nil
+	}
+	fastMS, ok := dec.Perf.Mean(dec.Workload, present[0])
+	if !ok {
+		return nil
+	}
+	if n > len(present)-1 {
+		n = len(present) - 1
+	}
+	banned := make(map[cpu.Kind]bool, n)
+	bannedShare := 0.0
+	for i := len(present) - 1; i >= len(present)-n; i-- {
+		k := present[i]
+		if meanK, ok := dec.Perf.Mean(dec.Workload, k); !ok || meanK-fastMS < minGain(0) {
+			continue
+		}
+		if bannedShare+d.Share(k) > 1-minKeptShare {
+			break // would leave too little of the zone to run on
+		}
+		banned[k] = true
+		bannedShare += d.Share(k)
+	}
+	if len(banned) == 0 {
+		return nil
+	}
+	return banned
+}
+
+// ---------------------------------------------------------------------------
+
+// FocusFastest pins bursts to one zone and aggressively retries anything
+// not on the fastest observed CPU. MinShare guards against banning
+// everything when the ideal CPU is nearly absent (the paper notes retry
+// overhead explodes when the target CPU is rare).
+type FocusFastest struct {
+	AZ string
+	// MinShare is the minimum characterized share of the fastest kind for
+	// full focus; below it the strategy degrades to banning the slowest
+	// two (default 0.03).
+	MinShare float64
+	// MinGainMS is the minimum learned runtime gain (vs the fastest kind)
+	// a CPU must cost before it gets banned; anything cheaper cannot repay
+	// the decline hold and retry churn (default 300 — twice the paper's
+	// 150 ms hold).
+	MinGainMS float64
+}
+
+// Name implements Strategy.
+func (FocusFastest) Name() string { return "focus-fastest" }
+
+// PickAZ implements Strategy.
+func (f FocusFastest) PickAZ(Decision) string { return f.AZ }
+
+// Ban implements Strategy.
+func (f FocusFastest) Ban(dec Decision, az string) map[cpu.Kind]bool {
+	return banAllButFastest(dec, az, f.minShare(), minGain(f.MinGainMS))
+}
+
+func (f FocusFastest) minShare() float64 {
+	if f.MinShare == 0 {
+		// Below ~15% share, the expected decline holds (>5 per completion)
+		// usually outweigh the gain — the paper's "overhead of additional
+		// retries grows rapidly" regime.
+		return 0.15
+	}
+	return f.MinShare
+}
+
+func minGain(v float64) float64 {
+	if v == 0 {
+		return 300
+	}
+	return v
+}
+
+func banAllButFastest(dec Decision, az string, minShare, minGainMS float64) map[cpu.Kind]bool {
+	d, ok := dec.dist(az)
+	if !ok {
+		return nil
+	}
+	ranked := dec.Perf.Kinds(dec.Workload)
+	var fastest cpu.Kind
+	for _, k := range ranked {
+		if d.Share(k) > 0 {
+			fastest = k
+			break
+		}
+	}
+	if fastest == 0 {
+		return nil
+	}
+	if d.Share(fastest) < minShare {
+		return banSlowest(dec, az, 2)
+	}
+	fastMS, ok := dec.Perf.Mean(dec.Workload, fastest)
+	if !ok {
+		return nil
+	}
+	banned := make(map[cpu.Kind]bool)
+	for _, k := range ranked {
+		if k == fastest || d.Share(k) <= 0 {
+			continue
+		}
+		if meanK, ok := dec.Perf.Mean(dec.Workload, k); ok && meanK-fastMS < minGainMS {
+			// Too close to the fastest: retrying off it costs more than
+			// it saves.
+			continue
+		}
+		banned[k] = true
+	}
+	return banned
+}
+
+// ---------------------------------------------------------------------------
+
+// Hybrid combines region hopping with in-zone retries: pick the best
+// candidate zone by expected runtime, then ban the cost-optimal set of
+// CPUs there. Rather than always focusing the single fastest CPU, it
+// evaluates every "ban the j slowest kinds" cutoff against the expected
+// decline-hold overhead and keeps the cheapest — the paper's observation
+// that the retry approach "can be tuned by specifying the CPUs that are
+// banned" turned into an explicit optimization.
+type Hybrid struct {
+	// HoldMS is the decline hold assumed by the overhead model
+	// (default 150, matching BurstSpec).
+	HoldMS float64
+}
+
+// Name implements Strategy.
+func (Hybrid) Name() string { return "hybrid" }
+
+// PickAZ implements Strategy.
+func (Hybrid) PickAZ(dec Decision) string { return bestAZ(dec) }
+
+// Ban implements Strategy.
+func (h Hybrid) Ban(dec Decision, az string) map[cpu.Kind]bool {
+	hold := h.HoldMS
+	if hold == 0 {
+		hold = 150
+	}
+	return optimalBanSet(dec, az, hold)
+}
+
+// optimalBanSet picks the ban cutoff minimizing expected per-completion
+// cost: runtime over the kept kinds plus (bannedShare/keptShare)*hold of
+// decline overhead.
+func optimalBanSet(dec Decision, az string, holdMS float64) map[cpu.Kind]bool {
+	d, ok := dec.dist(az)
+	if !ok {
+		return nil
+	}
+	ranked := dec.Perf.Kinds(dec.Workload) // fastest first
+	type entry struct {
+		kind  cpu.Kind
+		share float64
+		mean  float64
+	}
+	present := make([]entry, 0, len(ranked))
+	for _, k := range ranked {
+		share := d.Share(k)
+		if share <= 0 {
+			continue
+		}
+		mean, ok := dec.Perf.Mean(dec.Workload, k)
+		if !ok {
+			continue
+		}
+		present = append(present, entry{kind: k, share: share, mean: mean})
+	}
+	if len(present) <= 1 {
+		return nil
+	}
+	bestJ := 0
+	bestCost := 0.0
+	for j := 0; j < len(present); j++ {
+		kept := present[:len(present)-j]
+		var keptShare, weighted float64
+		for _, e := range kept {
+			keptShare += e.share
+			weighted += e.share * e.mean
+		}
+		if keptShare <= 0 {
+			continue
+		}
+		expRun := weighted / keptShare
+		expCost := expRun + (1-keptShare)/keptShare*holdMS
+		if j == 0 || expCost < bestCost {
+			bestJ, bestCost = j, expCost
+		}
+	}
+	if bestJ == 0 {
+		return nil
+	}
+	banned := make(map[cpu.Kind]bool, bestJ)
+	for _, e := range present[len(present)-bestJ:] {
+		banned[e.kind] = true
+	}
+	return banned
+}
+
+var (
+	_ Strategy = Baseline{}
+	_ Strategy = Regional{}
+	_ Strategy = RetrySlow{}
+	_ Strategy = FocusFastest{}
+	_ Strategy = Hybrid{}
+)

@@ -1,0 +1,101 @@
+package saaf
+
+import (
+	"strings"
+	"testing"
+
+	"skyfaas/internal/cpu"
+)
+
+func TestCollectFromCPUInfo(t *testing.T) {
+	dump := cpu.CPUInfo(cpu.Xeon30, 2)
+	r, err := Collect(dump, "fi-1", "host-9", true, 123.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != cpu.Xeon30 {
+		t.Errorf("kind = %v", r.Kind)
+	}
+	if r.CPUMHz != 3000 {
+		t.Errorf("MHz = %v", r.CPUMHz)
+	}
+	if r.VCPUs != 2 {
+		t.Errorf("vcpus = %v", r.VCPUs)
+	}
+	if !r.Cold() {
+		t.Error("cold flag lost")
+	}
+	if r.UUID != "fi-1" || r.VMID != "host-9" {
+		t.Errorf("ids = %q %q", r.UUID, r.VMID)
+	}
+	if r.RuntimeMS != 123.4 {
+		t.Errorf("runtime = %v", r.RuntimeMS)
+	}
+}
+
+func TestCollectWarm(t *testing.T) {
+	r, err := Collect(cpu.CPUInfo(cpu.EPYC, 1), "fi", "h", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cold() || r.NewContainer != 0 {
+		t.Error("warm invocation flagged cold")
+	}
+	if r.Kind != cpu.EPYC {
+		t.Errorf("kind = %v", r.Kind)
+	}
+}
+
+func TestCollectRejectsGarbage(t *testing.T) {
+	if _, err := Collect("not cpuinfo", "fi", "h", false, 1); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Collect("", "fi", "h", false, 1); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	for _, k := range cpu.Kinds() {
+		orig, err := Collect(cpu.CPUInfo(k, 2), "fi-x", "host-y", true, 55.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(blob)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if back != orig {
+			t.Errorf("%v: round trip mismatch:\n  %+v\n  %+v", k, orig, back)
+		}
+	}
+}
+
+func TestMarshalUsesSAAFFieldNames(t *testing.T) {
+	r, err := Collect(cpu.CPUInfo(cpu.Xeon25, 1), "fi", "h", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"uuid"`, `"vmID"`, `"cpuType"`, `"newcontainer"`, `"runtime"`} {
+		if !strings.Contains(string(blob), field) {
+			t.Errorf("JSON missing SAAF field %s: %s", field, blob)
+		}
+	}
+}
+
+func TestParseRejectsUnknownModel(t *testing.T) {
+	if _, err := Parse([]byte(`{"cpuType":"Mystery CPU"}`)); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := Parse([]byte(`{bad json`)); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}

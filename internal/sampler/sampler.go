@@ -1,0 +1,348 @@
+// Package sampler implements the paper's FaaS infrastructure sampling
+// technique (§3.1):
+//
+//   - Deploy many (default 100) identical-logic sampling functions per zone,
+//     each with a unique memory setting and code hash, so no two endpoints
+//     share warm instances.
+//   - A *poll* drives ~1,000 concurrent requests through a branching tree
+//     of recursive function invocations — the client only issues a handful
+//     of root requests; the tree fans out platform-side — while each
+//     request sleeps briefly so every concurrent request pins a unique
+//     function instance.
+//   - Each request returns its SAAF profile; deduplicating by instance id
+//     yields new-hardware observations per poll.
+//   - Successive polls cycle endpoints until the zone saturates: when more
+//     than half of a poll's requests fail, the accumulated observation is
+//     the zone's ground-truth characterization (§4.1's stop rule).
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/faas"
+	"skyfaas/internal/saaf"
+	"skyfaas/internal/sim"
+)
+
+// Config tunes the sampling technique. Zero fields take the paper's values.
+type Config struct {
+	// Endpoints is the number of sampling functions deployed per zone.
+	Endpoints int
+	// PollSize is the target number of concurrent requests per poll.
+	PollSize int
+	// Branch is the fan-out of each internal tree node; trees are three
+	// levels deep (root, Branch children, Branch^2 leaves).
+	Branch int
+	// Sleep is how long each request holds its instance.
+	Sleep time.Duration
+	// MemoryMB is the base memory setting; endpoint i deploys at
+	// MemoryMB+i so every endpoint is a distinct configuration.
+	MemoryMB int
+	// FailStop stops characterization when a poll's failure fraction
+	// exceeds it (the paper uses 0.5).
+	FailStop float64
+	// MaxPolls bounds a characterization run.
+	MaxPolls int
+	// InterPollPause separates successive polls.
+	InterPollPause time.Duration
+	// Prefix namespaces the sampling deployments so independent accounts
+	// (EX-1's two-account validation) can sample the same zone (default
+	// "skysample").
+	Prefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Endpoints == 0 {
+		c.Endpoints = 100
+	}
+	if c.PollSize == 0 {
+		c.PollSize = 1000
+	}
+	if c.Branch == 0 {
+		c.Branch = 10
+	}
+	if c.Sleep == 0 {
+		c.Sleep = 250 * time.Millisecond
+	}
+	if c.MemoryMB == 0 {
+		c.MemoryMB = 2048
+	}
+	if c.FailStop == 0 {
+		c.FailStop = 0.5
+	}
+	if c.MaxPolls == 0 {
+		c.MaxPolls = 200
+	}
+	if c.InterPollPause == 0 {
+		c.InterPollPause = time.Second
+	}
+	if c.Prefix == "" {
+		c.Prefix = "skysample"
+	}
+	return c
+}
+
+// treeSize returns the number of requests a three-level tree generates.
+func (c Config) treeSize() int { return 1 + c.Branch + c.Branch*c.Branch }
+
+// roots returns how many root requests approximate PollSize.
+func (c Config) roots() int {
+	r := c.PollSize / c.treeSize()
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// Sampler profiles zones on behalf of one client account.
+type Sampler struct {
+	client *faas.Client
+	cfg    Config
+}
+
+// New returns a sampler issuing requests through client.
+func New(client *faas.Client, cfg Config) *Sampler {
+	return &Sampler{client: client, cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+func (s *Sampler) endpointName(az string, i int) string {
+	return fmt.Sprintf("%s-%s-%03d", s.cfg.Prefix, az, i)
+}
+
+// Deploy installs the sampling endpoints in a zone. Each endpoint is a
+// dynamic function with a unique memory setting and code hash.
+func (s *Sampler) Deploy(az string) error {
+	for i := 0; i < s.cfg.Endpoints; i++ {
+		_, err := s.client.Deploy(az, s.endpointName(az, i), cloudsim.DeployConfig{
+			MemoryMB: s.cfg.MemoryMB + i,
+			Dynamic:  true,
+			Behavior: cloudsim.SleepBehavior{D: s.cfg.Sleep},
+			CodeHash: fmt.Sprintf("%s-v1-%03d", s.cfg.Prefix, i),
+		})
+		if err != nil {
+			return fmt.Errorf("sampler: %w", err)
+		}
+	}
+	return nil
+}
+
+// treeResult aggregates a subtree's observations as they bubble up.
+type treeResult struct {
+	reports []saaf.Report
+	failed  int
+	cost    float64
+}
+
+// subtreeRequests returns the request count of a subtree rooted at depth.
+func (s *Sampler) subtreeRequests(depth int) int {
+	total := 1
+	width := 1
+	for d := 0; d < depth; d++ {
+		width *= s.cfg.Branch
+		total += width
+	}
+	return total
+}
+
+// treeWork builds the behavior for a tree node at the given depth. Leaves
+// sleep (fast path); internal nodes fan out to the same endpoint and
+// aggregate their children's observations, sleeping concurrently to hold
+// their own instance.
+func (s *Sampler) treeWork(az, fn string, depth int, sleep time.Duration) cloudsim.Behavior {
+	if depth == 0 {
+		return cloudsim.SleepBehavior{D: sleep}
+	}
+	return cloudsim.HandlerBehavior{Fn: func(ctx *cloudsim.Ctx, req cloudsim.Request) (any, error) {
+		childWork := s.treeWork(az, fn, depth-1, sleep)
+		events := make([]*sim.Event, s.cfg.Branch)
+		for i := range events {
+			events[i] = ctx.InvokeAsync(cloudsim.Request{
+				Account:  req.Account,
+				AZ:       az,
+				Function: fn,
+				Work:     childWork,
+			})
+		}
+		ctx.Sleep(sleep)
+		agg := treeResult{}
+		for _, ev := range events {
+			r := ctx.Wait(ev)
+			if !r.OK() {
+				agg.failed += s.subtreeRequests(depth - 1)
+				continue
+			}
+			agg.cost += r.CostUSD
+			agg.reports = append(agg.reports, r.Profile)
+			if sub, ok := r.Value.(treeResult); ok {
+				agg.reports = append(agg.reports, sub.reports...)
+				agg.failed += sub.failed
+				agg.cost += sub.cost
+			}
+		}
+		return agg, nil
+	}}
+}
+
+// PollResult is one poll's outcome.
+type PollResult struct {
+	// Endpoint is the sampling function index used.
+	Endpoint int
+	// Requested counts requests issued (client roots plus tree fan-out).
+	Requested int
+	// Failed counts requests that never ran (throttled/saturated).
+	Failed int
+	// Reports are the SAAF profiles of every successful request.
+	Reports []saaf.Report
+	// NewFIs counts instances not seen in earlier polls of the same
+	// characterization run (filled by Characterize; equals len(Reports)
+	// for a standalone poll).
+	NewFIs int
+	// CostUSD is the poll's total spend.
+	CostUSD float64
+}
+
+// FailFrac returns the failed fraction of requested calls.
+func (r PollResult) FailFrac() float64 {
+	if r.Requested == 0 {
+		return 0
+	}
+	return float64(r.Failed) / float64(r.Requested)
+}
+
+// Poll runs one poll against endpoint idx (mod Endpoints) in az.
+func (s *Sampler) Poll(p *sim.Proc, az string, idx int) PollResult {
+	return s.pollWith(p, az, s.endpointName(az, idx%s.cfg.Endpoints), idx%s.cfg.Endpoints, s.cfg.Sleep)
+}
+
+func (s *Sampler) pollWith(p *sim.Proc, az, fn string, idx int, sleep time.Duration) PollResult {
+	depth := 2
+	roots := s.cfg.roots()
+	futures := make([]*faas.Future, roots)
+	for i := range futures {
+		futures[i] = s.client.InvokeAsync(faas.Call{
+			AZ:       az,
+			Function: fn,
+			Work:     s.treeWork(az, fn, depth, sleep),
+		})
+	}
+	res := PollResult{
+		Endpoint:  idx,
+		Requested: roots * s.subtreeRequests(depth),
+	}
+	for _, f := range futures {
+		r := f.Wait(p)
+		if !r.OK() {
+			res.Failed += s.subtreeRequests(depth)
+			continue
+		}
+		res.CostUSD += r.CostUSD
+		res.Reports = append(res.Reports, r.Profile)
+		if sub, ok := r.Value.(treeResult); ok {
+			res.Reports = append(res.Reports, sub.reports...)
+			res.Failed += sub.failed
+			res.CostUSD += sub.cost
+		}
+	}
+	res.NewFIs = len(res.Reports)
+	return res
+}
+
+// Characterize polls a zone until the saturation stop rule fires (or
+// MaxPolls), deduplicating instances across polls. It returns the
+// accumulated characterization (the at-failure "ground truth" of EX-1)
+// and the per-poll trail for progressive-sampling analysis.
+func (s *Sampler) Characterize(p *sim.Proc, az string) (charact.Characterization, []PollResult, error) {
+	return s.characterize(p, az, s.cfg.MaxPolls, true)
+}
+
+// CharacterizeQuick runs exactly polls polls without driving the zone to
+// saturation — the cheap refresh mode routing uses day to day.
+func (s *Sampler) CharacterizeQuick(p *sim.Proc, az string, polls int) (charact.Characterization, []PollResult, error) {
+	return s.characterize(p, az, polls, false)
+}
+
+func (s *Sampler) characterize(p *sim.Proc, az string, maxPolls int, untilFailure bool) (charact.Characterization, []PollResult, error) {
+	seen := make(map[string]struct{})
+	cum := make(charact.Counts)
+	var trail []PollResult
+	var cost float64
+	for poll := 0; poll < maxPolls; poll++ {
+		res := s.Poll(p, az, poll)
+		fresh := make(charact.Counts)
+		for _, rep := range res.Reports {
+			if _, dup := seen[rep.UUID]; dup {
+				continue
+			}
+			seen[rep.UUID] = struct{}{}
+			fresh.Add(rep.Kind)
+		}
+		res.NewFIs = fresh.Total()
+		cum.Merge(fresh)
+		cost += res.CostUSD
+		trail = append(trail, res)
+		if untilFailure && res.FailFrac() > s.cfg.FailStop {
+			break
+		}
+		p.Sleep(s.cfg.InterPollPause)
+	}
+	if cum.Total() == 0 {
+		return charact.Characterization{}, trail, fmt.Errorf("sampler: no observations in %s", az)
+	}
+	return charact.Characterization{
+		AZ:      az,
+		Taken:   p.Env().Now(),
+		Polls:   len(trail),
+		Samples: cum.Total(),
+		Counts:  cum,
+		CostUSD: cost,
+	}, trail, nil
+}
+
+// SweepPoint is one (sleep, memory) sample of the Fig.-3 tuning sweep.
+type SweepPoint struct {
+	Sleep     time.Duration
+	MemoryMB  int
+	UniqueFIs int
+	CostUSD   float64
+}
+
+// SweepSleep measures unique-instance coverage and cost across sleep
+// intervals and memory settings (Fig. 3). Each combination uses a dedicated
+// endpoint, and combinations are separated by more than the keep-alive so
+// earlier instances expire.
+func (s *Sampler) SweepSleep(p *sim.Proc, az string, sleeps []time.Duration, memories []int) ([]SweepPoint, error) {
+	keepAlive := s.client.Cloud().Options().KeepAlive
+	var out []SweepPoint
+	for _, mem := range memories {
+		for _, sleep := range sleeps {
+			fn := fmt.Sprintf("skysweep-%s-%dmb-%dms", az, mem, sleep.Milliseconds())
+			if _, err := s.client.Deploy(az, fn, cloudsim.DeployConfig{
+				MemoryMB: mem,
+				Dynamic:  true,
+				Behavior: cloudsim.SleepBehavior{D: sleep},
+				CodeHash: fn,
+			}); err != nil {
+				return nil, fmt.Errorf("sampler: sweep: %w", err)
+			}
+			res := s.pollWith(p, az, fn, 0, sleep)
+			unique := make(map[string]struct{}, len(res.Reports))
+			for _, rep := range res.Reports {
+				unique[rep.UUID] = struct{}{}
+			}
+			out = append(out, SweepPoint{
+				Sleep:     sleep,
+				MemoryMB:  mem,
+				UniqueFIs: len(unique),
+				CostUSD:   res.CostUSD,
+			})
+			p.Sleep(keepAlive + time.Minute)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,338 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel with cooperative processes.
+//
+// The kernel drives every experiment in this repository. Model code is
+// written in one of two styles:
+//
+//   - Callbacks: Env.Schedule(d, fn) runs fn at virtual time now+d. Cheap,
+//     used for mechanical bookkeeping (function-instance expiry, drift
+//     ticks).
+//   - Processes: Env.Go(name, fn) starts a cooperative process — a goroutine
+//     that may block on Proc.Sleep and Proc.Wait. Processes make client-side
+//     logic (pollers issuing requests, routers retrying invocations) read
+//     like straight-line distributed-systems code while remaining fully
+//     deterministic: the scheduler and at most one process run at any
+//     instant, hand over hand.
+//
+// Events at equal virtual timestamps execute in schedule order (a strictly
+// increasing sequence number breaks ties), so a run is a pure function of
+// the model and its RNG seeds.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrAborted is the cause recorded by a process that was shut down by
+// Env.Shutdown while blocked.
+var ErrAborted = errors.New("sim: process aborted by shutdown")
+
+// errAbortSentinel is panicked inside a blocked process to unwind it during
+// shutdown; the process wrapper recovers it.
+type errAbortSentinel struct{}
+
+// item is a scheduled occurrence in the event queue.
+type item struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// An Env must not be shared across OS threads while running; the kernel
+// enforces single-threaded model execution by construction.
+type Env struct {
+	epoch   time.Time
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{}
+	failure error
+	running bool
+}
+
+// NewEnv returns an environment whose virtual clock starts at epoch.
+func NewEnv(epoch time.Time) *Env {
+	return &Env{
+		epoch: epoch,
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual wall-clock time.
+func (e *Env) Now() time.Time { return e.epoch.Add(e.now) }
+
+// Elapsed returns virtual time elapsed since the epoch.
+func (e *Env) Elapsed() time.Duration { return e.now }
+
+// Schedule runs fn at virtual time Now()+d. A negative d schedules at the
+// current instant (after events already queued for this instant).
+func (e *Env) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &item{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Fail aborts the run: Run returns err after the current event completes.
+// The first failure wins.
+func (e *Env) Fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+}
+
+// Run executes events until the queue is empty or a failure is recorded.
+// Processes still blocked when the queue drains are aborted so their
+// goroutines exit; their Err reports ErrAborted.
+func (e *Env) Run() error { return e.run(-1, 0) }
+
+// RunFor executes events for at most d of virtual time. Events scheduled
+// beyond the horizon stay queued; the clock advances exactly to the horizon.
+// Blocked processes are left intact so a subsequent RunFor can resume them.
+func (e *Env) RunFor(d time.Duration) error { return e.run(e.now+d, 0) }
+
+// RunPaced is Run with real-time pacing for demos: between consecutive
+// events the scheduler sleeps the virtual gap divided by speedup (e.g.
+// speedup=1000 plays one virtual second per wall millisecond).
+func (e *Env) RunPaced(speedup float64) error {
+	if speedup <= 0 {
+		return fmt.Errorf("sim: non-positive speedup %v", speedup)
+	}
+	return e.run(-1, speedup)
+}
+
+func (e *Env) run(until time.Duration, speedup float64) error {
+	if e.running {
+		return errors.New("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.failure == nil && len(e.queue) > 0 {
+		next := e.queue[0]
+		if until >= 0 && next.at > until {
+			e.now = until
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if gap := next.at - e.now; gap > 0 && speedup > 0 {
+			time.Sleep(time.Duration(float64(gap) / speedup))
+		}
+		e.now = next.at
+		next.fn()
+	}
+	if until >= 0 && e.failure == nil {
+		e.now = until
+		return nil
+	}
+	if e.failure != nil {
+		e.drainProcs()
+		return e.failure
+	}
+	e.drainProcs()
+	return nil
+}
+
+// Shutdown aborts all live processes. It is safe to call when idle.
+func (e *Env) Shutdown() { e.drainProcs() }
+
+// drainProcs force-unwinds every blocked process so no goroutine leaks.
+func (e *Env) drainProcs() {
+	for p := range e.procs {
+		if p.blocked {
+			p.abort()
+		}
+	}
+}
+
+// LiveProcs reports the number of processes that have started but not
+// finished.
+func (e *Env) LiveProcs() int { return len(e.procs) }
+
+// ---------------------------------------------------------------------------
+// Processes
+
+// Proc is a cooperative simulation process. Its methods must only be called
+// from within the process's own function.
+type Proc struct {
+	env     *Env
+	name    string
+	resume  chan resumeMsg
+	yielded chan struct{}
+	blocked bool
+	err     error
+	done    *Event
+}
+
+type resumeMsg struct {
+	val   any
+	abort bool
+}
+
+// Go starts fn as a new process. The returned Proc's Done event triggers
+// (with the value nil) when fn returns.
+func (e *Env) Go(name string, fn func(p *Proc) error) *Proc {
+	p := &Proc{
+		env:     e,
+		name:    name,
+		resume:  make(chan resumeMsg),
+		yielded: make(chan struct{}),
+	}
+	p.done = NewEvent(e)
+	e.procs[p] = struct{}{}
+	// The process starts at the current instant, via the queue, so that Go
+	// during another process's execution is deterministic.
+	e.Schedule(0, func() {
+		go p.body(fn)
+		<-p.yielded
+	})
+	return p
+}
+
+func (p *Proc) body(fn func(p *Proc) error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(errAbortSentinel); ok {
+				p.err = ErrAborted
+			} else {
+				// Re-panicking here would crash on the process goroutine
+				// with a useless stack for the scheduler; record and fail
+				// the run instead.
+				p.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				p.env.Fail(p.err)
+			}
+		}
+		delete(p.env.procs, p)
+		p.done.Trigger(nil)
+		p.yielded <- struct{}{}
+	}()
+	p.err = fn(p)
+}
+
+// yield hands control back to the scheduler and blocks until resumed.
+func (p *Proc) yield() resumeMsg {
+	p.blocked = true
+	p.yielded <- struct{}{}
+	msg := <-p.resume
+	p.blocked = false
+	if msg.abort {
+		panic(errAbortSentinel{})
+	}
+	return msg
+}
+
+// wake schedules delivery of val to the blocked process at the current
+// instant.
+func (p *Proc) wake(val any) {
+	p.resume <- resumeMsg{val: val}
+	<-p.yielded
+}
+
+func (p *Proc) abort() {
+	p.resume <- resumeMsg{abort: true}
+	<-p.yielded
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Err returns the error the process function returned (nil until the
+// process finishes; ErrAborted if it was shut down while blocked).
+func (p *Proc) Err() error { return p.err }
+
+// Done returns an event that triggers when the process finishes.
+func (p *Proc) Done() *Event { return p.done }
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.Schedule(d, func() { p.wake(nil) })
+	p.yield()
+}
+
+// Wait blocks until ev triggers and returns the value it was triggered
+// with. If ev already triggered, Wait returns immediately without yielding.
+func (p *Proc) Wait(ev *Event) any {
+	if ev.triggered {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p)
+	return p.yield().val
+}
+
+// WaitAll blocks until every event has triggered and returns their values
+// in order.
+func (p *Proc) WaitAll(evs ...*Event) []any {
+	vals := make([]any, len(evs))
+	for i, ev := range evs {
+		vals[i] = p.Wait(ev)
+	}
+	return vals
+}
+
+// ---------------------------------------------------------------------------
+// Events
+
+// Event is a one-shot occurrence processes can wait on. Triggering an
+// already-triggered event is a no-op.
+type Event struct {
+	env       *Env
+	triggered bool
+	val       any
+	waiters   []*Proc
+}
+
+// NewEvent returns an untriggered event bound to e.
+func NewEvent(e *Env) *Event { return &Event{env: e} }
+
+// Trigger fires the event, waking all waiters at the current instant in
+// registration order. Subsequent Wait calls return immediately with val.
+func (ev *Event) Trigger(val any) {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	ev.val = val
+	waiters := ev.waiters
+	ev.waiters = nil
+	for _, p := range waiters {
+		proc := p
+		ev.env.Schedule(0, func() { proc.wake(ev.val) })
+	}
+}
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Value returns the value the event was triggered with (nil before firing).
+func (ev *Event) Value() any { return ev.val }

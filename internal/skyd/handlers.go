@@ -1,0 +1,335 @@
+package skyd
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/router"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// All handler logic runs inside Exec: the simulation state (store, perf
+// model, cloud) belongs to the simulation goroutine, so even read-only
+// endpoints marshal their answers from within a command.
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/zones", s.handleZones)
+	s.mux.HandleFunc("GET /v1/characterizations", s.handleCharacterizations)
+	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
+	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/perf", s.handlePerf)
+	s.mux.HandleFunc("POST /v1/burst", s.handleBurst)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var now time.Time
+	err := s.Exec(func(p *sim.Proc) error {
+		now = p.Env().Now()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"virtualTime": now,
+	})
+}
+
+type zoneJS struct {
+	Name     string `json:"name"`
+	Region   string `json:"region"`
+	Provider string `json:"provider"`
+}
+
+func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
+	var zones []zoneJS
+	err := s.Exec(func(p *sim.Proc) error {
+		for _, region := range s.rt.Cloud().Regions() {
+			for _, az := range region.AZs() {
+				zones = append(zones, zoneJS{
+					Name:     az.Name(),
+					Region:   region.Name(),
+					Provider: region.Provider().String(),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"zones": zones})
+}
+
+type characterizationJS struct {
+	AZ      string             `json:"az"`
+	Taken   time.Time          `json:"taken"`
+	Polls   int                `json:"polls"`
+	Samples int                `json:"samples"`
+	CostUSD float64            `json:"costUSD"`
+	Dist    map[string]float64 `json:"dist"` // CPU label -> share
+}
+
+func charToJS(ch charact.Characterization) characterizationJS {
+	dist := make(map[string]float64)
+	for k, share := range ch.Dist() {
+		dist[k.String()] = share
+	}
+	return characterizationJS{
+		AZ: ch.AZ, Taken: ch.Taken, Polls: ch.Polls,
+		Samples: ch.Samples, CostUSD: ch.CostUSD, Dist: dist,
+	}
+}
+
+func (s *Server) handleCharacterizations(w http.ResponseWriter, r *http.Request) {
+	var out []characterizationJS
+	err := s.Exec(func(p *sim.Proc) error {
+		store := s.rt.Store()
+		now := p.Env().Now()
+		for _, az := range store.Zones() {
+			if ch, ok := store.Get(az, now); ok {
+				out = append(out, charToJS(ch))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"characterizations": out})
+}
+
+type characterizeReq struct {
+	AZ    string `json:"az"`
+	Polls int    `json:"polls"`
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	var req characterizeReq
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Polls <= 0 {
+		req.Polls = 6
+	}
+	var ch charact.Characterization
+	err := s.Exec(func(p *sim.Proc) error {
+		if _, ok := s.rt.Cloud().AZ(req.AZ); !ok {
+			return fmt.Errorf("unknown AZ %q", req.AZ)
+		}
+		if err := s.rt.EnsureSamplerEndpoints(req.AZ); err != nil {
+			return err
+		}
+		got, _, err := s.rt.Sampler().CharacterizeQuick(p, req.AZ, req.Polls)
+		if err != nil {
+			return err
+		}
+		s.rt.Store().Put(got)
+		ch = got
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, charToJS(ch))
+}
+
+type profileReq struct {
+	Workload string   `json:"workload"`
+	Zones    []string `json:"zones"`
+	Runs     int      `json:"runs"`
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req profileReq
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, ok := workload.ByName(req.Workload)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
+		return
+	}
+	if req.Runs <= 0 {
+		req.Runs = 300
+	}
+	if len(req.Zones) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no zones given"))
+		return
+	}
+	var cost float64
+	err := s.Exec(func(p *sim.Proc) error {
+		c, err := s.rt.ProfileWorkloads(p, []workload.ID{spec.ID}, req.Zones, req.Runs)
+		cost = c
+		return err
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workload": spec.Name,
+		"costUSD":  cost,
+	})
+}
+
+func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("workload")
+	spec, ok := workload.ByName(name)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", name))
+		return
+	}
+	type kindJS struct {
+		CPU     string  `json:"cpu"`
+		MeanMS  float64 `json:"meanMS"`
+		Samples int     `json:"samples"`
+	}
+	var kinds []kindJS
+	err := s.Exec(func(p *sim.Proc) error {
+		perf := s.rt.Perf()
+		for _, k := range perf.Kinds(spec.ID) {
+			mean, _ := perf.Mean(spec.ID, k)
+			kinds = append(kinds, kindJS{
+				CPU: k.String(), MeanMS: mean, Samples: perf.Samples(spec.ID, k),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workload": spec.Name,
+		"kinds":    kinds,
+	})
+}
+
+type burstReq struct {
+	Strategy   string   `json:"strategy"` // baseline|regional|retry-slow|focus-fastest|hybrid
+	AZ         string   `json:"az"`       // fixed zone for the pinned strategies
+	Workload   string   `json:"workload"`
+	N          int      `json:"n"`
+	Candidates []string `json:"candidates"`
+}
+
+type burstJS struct {
+	Strategy  string         `json:"strategy"`
+	Workload  string         `json:"workload"`
+	AZ        string         `json:"az"`
+	Completed int            `json:"completed"`
+	Attempts  int            `json:"attempts"`
+	Declined  int            `json:"declined"`
+	Failed    int            `json:"failed"`
+	RetryFrac float64        `json:"retryFrac"`
+	MeanRunMS float64        `json:"meanRunMS"`
+	CostUSD   float64        `json:"costUSD"`
+	ElapsedMS float64        `json:"elapsedMS"`
+	PerCPU    map[string]int `json:"perCPU"`
+}
+
+func strategyByName(name, az string) (router.Strategy, error) {
+	switch name {
+	case "baseline":
+		if az == "" {
+			return nil, fmt.Errorf("baseline needs an az")
+		}
+		return router.Baseline{AZ: az}, nil
+	case "regional":
+		return router.Regional{}, nil
+	case "retry-slow":
+		if az == "" {
+			return nil, fmt.Errorf("retry-slow needs an az")
+		}
+		return router.RetrySlow{AZ: az}, nil
+	case "focus-fastest":
+		if az == "" {
+			return nil, fmt.Errorf("focus-fastest needs an az")
+		}
+		return router.FocusFastest{AZ: az}, nil
+	case "hybrid", "":
+		return router.Hybrid{}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
+	var req burstReq
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, ok := workload.ByName(req.Workload)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
+		return
+	}
+	strat, err := strategyByName(req.Strategy, req.AZ)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.N <= 0 {
+		req.N = 100
+	}
+	var res router.BurstResult
+	err = s.Exec(func(p *sim.Proc) error {
+		got, err := s.rt.Run(p, router.BurstSpec{
+			Strategy:   strat,
+			Workload:   spec.ID,
+			N:          req.N,
+			Candidates: req.Candidates,
+		})
+		res = got
+		return err
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	perCPU := make(map[string]int, len(res.PerCPU))
+	for k, n := range res.PerCPU {
+		perCPU[k.String()] = n
+	}
+	writeJSON(w, http.StatusOK, burstJS{
+		Strategy:  res.Strategy,
+		Workload:  res.Workload.String(),
+		AZ:        res.AZ,
+		Completed: res.Completed,
+		Attempts:  res.Attempts,
+		Declined:  res.Declined,
+		Failed:    res.Failed,
+		RetryFrac: res.RetryFrac(),
+		MeanRunMS: res.MeanRunMS(),
+		CostUSD:   res.CostUSD,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+		PerCPU:    perCPU,
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type wlJS struct {
+		Name        string  `json:"name"`
+		VCPUs       float64 `json:"vcpus"`
+		Description string  `json:"description"`
+	}
+	out := make([]wlJS, 0, 12)
+	for _, spec := range workload.All() {
+		out = append(out, wlJS{Name: spec.Name, VCPUs: spec.VCPUs, Description: spec.Description})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}

@@ -1,0 +1,189 @@
+// Package skyd is the sky middleware's control plane: an HTTP server over a
+// live (real-time paced) sky runtime. It is what an operator deployment of
+// the paper's system looks like — characterize zones, inspect the learned
+// performance model, and route bursts, all over JSON.
+//
+// Concurrency model: the simulation kernel is single-threaded by design, so
+// the server runs it on one dedicated goroutine and bridges HTTP handlers
+// in through a command queue. A self-rescheduling pump event drains the
+// queue every PumpEvery of virtual time and spawns each command as a
+// cooperative process; handlers block on a reply channel. No handler ever
+// touches the simulation directly.
+package skyd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"skyfaas/internal/core"
+	"skyfaas/internal/sim"
+)
+
+// ErrClosed is returned for commands submitted after Close.
+var ErrClosed = errors.New("skyd: server closed")
+
+// Config assembles a Server.
+type Config struct {
+	// Runtime is the assembled sky runtime to serve (required).
+	Runtime *core.Runtime
+	// Speedup is the virtual-to-wall time ratio (default 1000: one
+	// virtual second per wall millisecond).
+	Speedup float64
+	// PumpEvery is the virtual-time granularity of command injection
+	// (default 100ms virtual; at the default speedup, 0.1ms wall).
+	PumpEvery time.Duration
+}
+
+// Server bridges HTTP onto a paced simulation.
+type Server struct {
+	rt        *core.Runtime
+	speedup   float64
+	pumpEvery time.Duration
+
+	mux  *http.ServeMux
+	cmds chan func(p *sim.Proc)
+
+	mu     sync.Mutex
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New builds and starts a server (the simulation goroutine begins
+// immediately; call Close to stop it).
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("skyd: nil runtime")
+	}
+	if cfg.Speedup == 0 {
+		cfg.Speedup = 1000
+	}
+	if cfg.PumpEvery == 0 {
+		cfg.PumpEvery = 100 * time.Millisecond
+	}
+	s := &Server{
+		rt:        cfg.Runtime,
+		speedup:   cfg.Speedup,
+		pumpEvery: cfg.PumpEvery,
+		mux:       http.NewServeMux(),
+		cmds:      make(chan func(p *sim.Proc), 64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	s.routes()
+	go s.loop()
+	return s, nil
+}
+
+// loop owns the simulation: it pumps queued commands into the environment
+// and paces virtual time against the wall clock.
+func (s *Server) loop() {
+	defer close(s.done)
+	env := s.rt.Env()
+	var pump func()
+	pump = func() {
+		select {
+		case <-s.stop:
+			// Do not reschedule: outstanding work drains, then Run ends.
+			return
+		default:
+		}
+		for {
+			select {
+			case fn := <-s.cmds:
+				fn2 := fn
+				env.Go("skyd-cmd", func(p *sim.Proc) error {
+					fn2(p)
+					return nil
+				})
+				continue
+			default:
+			}
+			break
+		}
+		env.Schedule(s.pumpEvery, pump)
+	}
+	env.Schedule(0, pump)
+	// The pacing error is unreachable for positive speedups; a failure
+	// inside the model surfaces through the pending command replies.
+	_ = env.RunPaced(s.speedup)
+}
+
+// Exec runs fn as a simulation process and blocks until it finishes.
+func (s *Server) Exec(fn func(p *sim.Proc) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	reply := make(chan error, 1)
+	select {
+	case s.cmds <- func(p *sim.Proc) {
+		reply <- fn(p)
+	}:
+	case <-s.done:
+		return ErrClosed
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Close stops accepting commands, lets in-flight work drain, and waits for
+// the simulation goroutine to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	<-s.done
+}
+
+// Runtime exposes the underlying runtime (read-only use outside Exec).
+func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

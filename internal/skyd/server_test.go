@@ -1,0 +1,273 @@
+package skyd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/sampler"
+	"skyfaas/internal/sim"
+)
+
+// newTestServer spins a server over a tiny two-zone world at very high
+// pacing so HTTP tests finish in milliseconds of wall time.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	rt, err := core.New(core.Config{
+		Seed: 9,
+		Catalog: []cloudsim.RegionSpec{{
+			Provider: cloudsim.AWS, Name: "t1", Loc: geo.Coord{Lat: 40, Lon: -80},
+			AZs: []cloudsim.AZSpec{
+				{Name: "t1-slow", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon25: 0.5, cpu.EPYC: 0.5}},
+				{Name: "t1-fast", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon30: 0.6, cpu.Xeon25: 0.4}},
+			},
+		}},
+		SamplerCfg: sampler.Config{
+			Endpoints: 30, PollSize: 84, Branch: 4,
+			Sleep: 100 * time.Millisecond, InterPollPause: 500 * time.Millisecond,
+		},
+		SkipMesh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Runtime: rt, Speedup: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func do(t *testing.T, s *Server, method, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var reqBody *bytes.Buffer = bytes.NewBuffer(nil)
+	if body != nil {
+		if err := json.NewEncoder(reqBody).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, reqBody)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	res := rec.Result()
+	defer res.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "GET", "/v1/healthz", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var out struct {
+		Status      string    `json:"status"`
+		VirtualTime time.Time `json:"virtualTime"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || out.VirtualTime.IsZero() {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+func TestZones(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "GET", "/v1/zones", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var out struct {
+		Zones []struct {
+			Name, Region, Provider string
+		} `json:"zones"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Zones) != 2 || out.Zones[0].Provider != "aws-lambda" {
+		t.Fatalf("zones = %+v", out.Zones)
+	}
+}
+
+func TestCharacterizeFlow(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "POST", "/v1/characterize", map[string]any{"az": "t1-fast", "polls": 3})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var ch struct {
+		AZ      string             `json:"az"`
+		Samples int                `json:"samples"`
+		Dist    map[string]float64 `json:"dist"`
+	}
+	if err := json.Unmarshal(body, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.AZ != "t1-fast" || ch.Samples == 0 {
+		t.Fatalf("characterization = %+v", ch)
+	}
+	if ch.Dist["Xeon 3.00GHz"] <= 0 {
+		t.Fatalf("dist = %v", ch.Dist)
+	}
+	// Now listed.
+	res, body = do(t, s, "GET", "/v1/characterizations", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var list struct {
+		Characterizations []json.RawMessage `json:"characterizations"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Characterizations) != 1 {
+		t.Fatalf("listed %d characterizations", len(list.Characterizations))
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	s := newTestServer(t)
+	if res, _ := do(t, s, "POST", "/v1/characterize", map[string]any{"az": "ghost"}); res.StatusCode != http.StatusBadGateway {
+		t.Fatalf("unknown AZ status %d", res.StatusCode)
+	}
+	req := httptest.NewRequest("POST", "/v1/characterize", bytes.NewBufferString("{bad"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", rec.Code)
+	}
+}
+
+func TestProfileThenPerfThenBurst(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "POST", "/v1/profile", map[string]any{
+		"workload": "math_service", "zones": []string{"t1-slow", "t1-fast"}, "runs": 450,
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("profile status %d: %s", res.StatusCode, body)
+	}
+
+	res, body = do(t, s, "GET", "/v1/perf?workload=math_service", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("perf status %d", res.StatusCode)
+	}
+	var perf struct {
+		Kinds []struct {
+			CPU     string  `json:"cpu"`
+			MeanMS  float64 `json:"meanMS"`
+			Samples int     `json:"samples"`
+		} `json:"kinds"`
+	}
+	if err := json.Unmarshal(body, &perf); err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Kinds) < 2 {
+		t.Fatalf("perf kinds = %+v", perf.Kinds)
+	}
+	// Ranked fastest first.
+	if perf.Kinds[0].MeanMS > perf.Kinds[1].MeanMS {
+		t.Fatalf("perf not ranked: %+v", perf.Kinds)
+	}
+
+	// Characterize both zones so the hybrid strategy can decide.
+	for _, az := range []string{"t1-slow", "t1-fast"} {
+		if res, body := do(t, s, "POST", "/v1/characterize", map[string]any{"az": az, "polls": 3}); res.StatusCode != http.StatusOK {
+			t.Fatalf("characterize %s: %d %s", az, res.StatusCode, body)
+		}
+	}
+	res, body = do(t, s, "POST", "/v1/burst", map[string]any{
+		"strategy": "hybrid", "workload": "math_service", "n": 100,
+		"candidates": []string{"t1-slow", "t1-fast"},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("burst status %d: %s", res.StatusCode, body)
+	}
+	var burst struct {
+		AZ        string  `json:"az"`
+		Completed int     `json:"completed"`
+		CostUSD   float64 `json:"costUSD"`
+	}
+	if err := json.Unmarshal(body, &burst); err != nil {
+		t.Fatal(err)
+	}
+	if burst.Completed != 100 || burst.AZ != "t1-fast" || burst.CostUSD <= 0 {
+		t.Fatalf("burst = %+v", burst)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	s := newTestServer(t)
+	cases := []map[string]any{
+		{"strategy": "warp", "workload": "zipper"},         // unknown strategy
+		{"strategy": "baseline", "workload": "zipper"},     // baseline without az
+		{"strategy": "hybrid", "workload": "quantum_sort"}, // unknown workload
+	}
+	for _, c := range cases {
+		if res, body := do(t, s, "POST", "/v1/burst", c); res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%v -> status %d: %s", c, res.StatusCode, body)
+		}
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "GET", "/v1/workloads", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var out struct {
+		Workloads []struct{ Name string } `json:"workloads"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Workloads) != 12 {
+		t.Fatalf("workloads = %d", len(out.Workloads))
+	}
+}
+
+func TestExecAfterClose(t *testing.T) {
+	s := newTestServer(t)
+	s.Close()
+	if err := s.Exec(func(p *sim.Proc) error { return nil }); err != ErrClosed {
+		t.Fatalf("err = %v", err)
+	}
+	// Double close is safe.
+	s.Close()
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s := newTestServer(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			res, _ := do(t, s, "GET", "/v1/healthz", nil)
+			if res.StatusCode != http.StatusOK {
+				done <- ErrClosed
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal("concurrent healthz failed")
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package tablefmt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the table as CSV, header first — the machine-readable twin
+// of String() used by skybench's -csv mode so the regenerated figure data
+// can be plotted directly.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return fmt.Errorf("tablefmt: csv header: %w", err)
+	}
+	for _, row := range t.rows {
+		padded := row
+		if len(row) < len(t.header) {
+			padded = make([]string, len(t.header))
+			copy(padded, row)
+		}
+		if err := cw.Write(padded); err != nil {
+			return fmt.Errorf("tablefmt: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("tablefmt: csv flush: %w", err)
+	}
+	return nil
+}

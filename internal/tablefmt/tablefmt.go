@@ -1,0 +1,116 @@
+// Package tablefmt renders experiment results as aligned ASCII tables and
+// simple text series, so skybench output reads like the paper's tables and
+// figure data.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows under a header and renders them aligned.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New returns a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are rendered with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series renders a named sequence of (label, value) pairs, one per line —
+// the textual equivalent of one figure curve.
+func Series(name string, labels []string, values []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", name)
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, label, trimFloat(v))
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// USD formats a dollar amount.
+func USD(v float64) string { return fmt.Sprintf("$%.4f", v) }

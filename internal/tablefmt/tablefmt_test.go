@@ -1,0 +1,106 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := New("zone", "polls", "cost")
+	tbl.Row("us-west-1a", 25, 0.2254)
+	tbl.Row("eu-north-1a", 6, 0.0468)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header, separator, rows all share the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+	if !strings.HasPrefix(lines[0], "zone") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "us-west-1a") || !strings.Contains(lines[2], "0.225") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestTableFloatTrimming(t *testing.T) {
+	tbl := New("v")
+	tbl.Row(1.5)
+	tbl.Row(2.0)
+	tbl.Row(0.125)
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	got := []string{}
+	for _, l := range lines[2:] { // skip header + separator
+		got = append(got, strings.TrimSpace(l))
+	}
+	want := []string{"1.5", "2", "0.125"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := New("a", "b")
+	tbl.Row("only-one")
+	tbl.Row("x", "y", "z") // wider than header
+	out := tbl.String()
+	if !strings.Contains(out, "only-one") || !strings.Contains(out, "z") {
+		t.Fatalf("ragged rows mangled:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("APE%", []string{"day 1", "day 2"}, []float64{0, 12.5})
+	if !strings.Contains(out, "APE%:") {
+		t.Errorf("missing name: %q", out)
+	}
+	if !strings.Contains(out, "day 1") || !strings.Contains(out, "12.5") {
+		t.Errorf("missing data: %q", out)
+	}
+	// Value without a label still renders.
+	out = Series("x", nil, []float64{1})
+	if !strings.Contains(out, "1") {
+		t.Errorf("unlabeled value missing: %q", out)
+	}
+}
+
+func TestPctAndUSD(t *testing.T) {
+	if got := Pct(0.182); got != "18.2%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := USD(2.8); got != "$2.8000" {
+		t.Errorf("USD = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := New("zone", "polls")
+	tbl.Row("us-west-1a", 25)
+	tbl.Row("short")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "zone,polls\nus-west-1a,25\nshort,\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVQuotesCommas(t *testing.T) {
+	tbl := New("desc")
+	tbl.Row("a, b")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"a, b"`) {
+		t.Fatalf("comma not quoted: %q", b.String())
+	}
+}

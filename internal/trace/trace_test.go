@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/sim"
+)
+
+func TestRecorderCapturesInvocations(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+
+	env := sim.NewEnv(time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC))
+	catalog := []cloudsim.RegionSpec{{
+		Provider: cloudsim.AWS, Name: "r", Loc: geo.Coord{},
+		AZs: []cloudsim.AZSpec{{
+			Name: "r-az", PoolFIs: 256,
+			Mix: map[cpu.Kind]float64{cpu.Xeon25: 1},
+		}},
+	}}
+	cloud := cloudsim.New(env, 5, catalog, cloudsim.Options{
+		HorizonDays: 1,
+		OnResponse:  rec.Hook(),
+	})
+	if _, err := cloud.Deploy("r-az", "fn", cloudsim.DeployConfig{
+		MemoryMB: 1024, Behavior: cloudsim.SleepBehavior{D: 20 * time.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		cloud.StartInvoke(cloudsim.Request{Account: "a", AZ: "r-az", Function: "fn"}, func(cloudsim.Response) {})
+	}
+	// One failing request too.
+	cloud.StartInvoke(cloudsim.Request{Account: "a", AZ: "r-az", Function: "ghost"}, func(cloudsim.Response) {})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if rec.Count() != 6 {
+		t.Fatalf("count = %d", rec.Count())
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	sc := bufio.NewScanner(&buf)
+	var records []Record
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		records = append(records, r)
+	}
+	if len(records) != 6 {
+		t.Fatalf("parsed %d records", len(records))
+	}
+	okCount, errCount := 0, 0
+	for _, r := range records {
+		if r.Error != "" {
+			errCount++
+			continue
+		}
+		okCount++
+		if r.AZ != "r-az" || r.Function != "fn" || r.CPU != "Xeon 2.50GHz" {
+			t.Errorf("record = %+v", r)
+		}
+		if r.FI == "" || r.BilledMS <= 0 || r.CostUSD <= 0 || r.Time.IsZero() {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+	if okCount != 5 || errCount != 1 {
+		t.Fatalf("ok/err = %d/%d", okCount, errCount)
+	}
+}
+
+func TestRecorderMarksDeclines(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	hook := rec.Hook()
+	hook(cloudsim.Request{AZ: "z", Function: "f"}, cloudsim.Response{
+		Value: cloudsim.ProbeOutcome{Ran: false},
+	})
+	if !strings.Contains(buf.String(), `"declined":true`) {
+		t.Fatalf("decline not marked: %s", buf.String())
+	}
+}
+
+func TestRecorderSurfacesWriteError(t *testing.T) {
+	rec := NewRecorder(errWriter{})
+	rec.Hook()(cloudsim.Request{}, cloudsim.Response{})
+	if rec.Err() == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errBoom }
+
+var errBoom = bufio.ErrBufferFull // any sentinel error

@@ -1,0 +1,41 @@
+package workload
+
+import "testing"
+
+// Golden digests pin each workload's semantic output for a fixed seed, so
+// refactors of the implementations cannot silently change behaviour.
+// To regenerate after an intentional change, blank the digest, run
+// `go test ./internal/workload -run TestGoldenDigests -v`, and paste the
+// logged value back here.
+var goldenDigests = map[ID]string{
+	GraphMST:           "349117f3d1763adf04db3da10d8f3fb3d50c99b9",
+	GraphBFS:           "3c6e61cad8556754396373a75666d6a4968007e6",
+	PageRank:           "4425ac1e7d66b879f6c30ecd6a38275d956aa835",
+	Zipper:             "fde34016b2524eecb553fdf335d981e9b2ad9e9d",
+	Thumbnailer:        "0bc6ba4c5a3d8277019664f02621b1585c321421",
+	Sha1Hash:           "c59a474dd3fafa6542f3e52be121e04e6a3dac68",
+	JSONFlattener:      "6c259307e5bd11e1dcf07d813055a127fad6c9e5",
+	MathService:        "c662fd4bce999e5916a8ba42b0069d24a813183d",
+	MatrixMultiply:     "ed1940b591a292058801e7a4d670025c3128ca53",
+	LogisticRegression: "678817b5f3bbb8d7b288ac380960419c612bcbff",
+}
+
+func TestGoldenDigests(t *testing.T) {
+	const seed = 2026
+	for id, want := range goldenDigests {
+		id, want := id, want
+		t.Run(id.String(), func(t *testing.T) {
+			out, err := Run(id, Input{Seed: seed, TempDir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == "" {
+				t.Logf("golden %v: %q", id, out.Digest)
+				return
+			}
+			if out.Digest != want {
+				t.Errorf("digest = %s, want %s (semantic output changed)", out.Digest, want)
+			}
+		})
+	}
+}

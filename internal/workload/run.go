@@ -1,0 +1,748 @@
+package workload
+
+import (
+	"archive/zip"
+	"bytes"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"skyfaas/internal/rng"
+)
+
+// Input parameterizes a real workload execution.
+type Input struct {
+	// Scale multiplies the problem size; 1 is the (test-friendly) reference.
+	Scale int
+	// Seed drives deterministic input generation.
+	Seed uint64
+	// Payload is optional caller data (hashed by sha1_hash, for example).
+	Payload []byte
+	// TempDir is where disk-bound workloads write; empty means os.TempDir().
+	TempDir string
+}
+
+func (in Input) scale() int {
+	if in.Scale < 1 {
+		return 1
+	}
+	return in.Scale
+}
+
+func (in Input) tempDir() string {
+	if in.TempDir == "" {
+		return os.TempDir()
+	}
+	return in.TempDir
+}
+
+// Output is the result of a real workload execution.
+type Output struct {
+	// Digest is a hex SHA-1 over the semantically meaningful result, so
+	// tests can assert determinism and cross-implementation agreement.
+	Digest string
+	// Bytes counts the payload bytes the workload produced or processed.
+	Bytes int
+	// Detail is a short human-readable result description.
+	Detail string
+}
+
+// Run executes the real implementation of workload id.
+func Run(id ID, in Input) (Output, error) {
+	switch id {
+	case GraphMST:
+		return runGraphMST(in)
+	case GraphBFS:
+		return runGraphBFS(in)
+	case PageRank:
+		return runPageRank(in)
+	case DiskWriter:
+		return runDiskWriter(in)
+	case DiskWriteProcess:
+		return runDiskWriteProcess(in)
+	case Zipper:
+		return runZipper(in)
+	case Thumbnailer:
+		return runThumbnailer(in)
+	case Sha1Hash:
+		return runSha1Hash(in)
+	case JSONFlattener:
+		return runJSONFlattener(in)
+	case MathService:
+		return runMathService(in)
+	case MatrixMultiply:
+		return runMatrixMultiply(in)
+	case LogisticRegression:
+		return runLogisticRegression(in)
+	default:
+		return Output{}, fmt.Errorf("workload: unknown id %d", int(id))
+	}
+}
+
+func digestOf(parts ...[]byte) string {
+	h := sha1.New()
+	for _, p := range parts {
+		_, _ = h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func u64bytes(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// ---------------------------------------------------------------------------
+// Graph workloads
+
+type edge struct {
+	u, v int
+	w    float64
+}
+
+func genGraph(seed uint64, nodes, degree int) []edge {
+	s := rng.New(seed)
+	edges := make([]edge, 0, nodes*degree)
+	for u := 0; u < nodes; u++ {
+		for d := 0; d < degree; d++ {
+			v := s.Intn(nodes)
+			if v == u {
+				v = (v + 1) % nodes
+			}
+			edges = append(edges, edge{u: u, v: v, w: s.Float64()})
+		}
+	}
+	// Ring edges guarantee connectivity so MST/BFS cover every node.
+	for u := 0; u < nodes; u++ {
+		edges = append(edges, edge{u: u, v: (u + 1) % nodes, w: 1 + s.Float64()})
+	}
+	return edges
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}
+
+func runGraphMST(in Input) (Output, error) {
+	nodes := 800 * in.scale()
+	edges := genGraph(in.Seed, nodes, 6)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w < edges[j].w
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	uf := newUnionFind(nodes)
+	var total float64
+	picked := 0
+	for _, e := range edges {
+		if uf.union(e.u, e.v) {
+			total += e.w
+			picked++
+			if picked == nodes-1 {
+				break
+			}
+		}
+	}
+	if picked != nodes-1 {
+		return Output{}, fmt.Errorf("graph_mst: graph not connected (%d/%d edges)", picked, nodes-1)
+	}
+	return Output{
+		Digest: digestOf(u64bytes(math.Float64bits(total)), u64bytes(uint64(picked))),
+		Bytes:  len(edges) * 24,
+		Detail: fmt.Sprintf("mst weight %.4f over %d nodes", total, nodes),
+	}, nil
+}
+
+func runGraphBFS(in Input) (Output, error) {
+	nodes := 1200 * in.scale()
+	edges := genGraph(in.Seed, nodes, 5)
+	adj := make([][]int, nodes)
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+	}
+	depth := make([]int, nodes)
+	for i := range depth {
+		depth[i] = -1
+	}
+	queue := make([]int, 0, nodes)
+	queue = append(queue, 0)
+	depth[0] = 0
+	visited := 0
+	maxDepth := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		visited++
+		if depth[u] > maxDepth {
+			maxDepth = depth[u]
+		}
+		for _, v := range adj[u] {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	if visited != nodes {
+		return Output{}, fmt.Errorf("graph_bfs: visited %d of %d nodes", visited, nodes)
+	}
+	var sum uint64
+	for _, d := range depth {
+		sum = sum*31 + uint64(d)
+	}
+	return Output{
+		Digest: digestOf(u64bytes(sum), u64bytes(uint64(maxDepth))),
+		Bytes:  nodes * 8,
+		Detail: fmt.Sprintf("bfs visited %d nodes, max depth %d", visited, maxDepth),
+	}, nil
+}
+
+func runPageRank(in Input) (Output, error) {
+	nodes := 600 * in.scale()
+	edges := genGraph(in.Seed, nodes, 5)
+	out := make([][]int, nodes)
+	outDeg := make([]int, nodes)
+	for _, e := range edges {
+		out[e.u] = append(out[e.u], e.v)
+		outDeg[e.u]++
+	}
+	const damping = 0.85
+	const iters = 25
+	rank := make([]float64, nodes)
+	next := make([]float64, nodes)
+	for i := range rank {
+		rank[i] = 1 / float64(nodes)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(nodes)
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < nodes; u++ {
+			if outDeg[u] == 0 {
+				continue
+			}
+			share := damping * rank[u] / float64(outDeg[u])
+			for _, v := range out[u] {
+				next[v] += share
+			}
+		}
+		rank, next = next, rank
+	}
+	var sum float64
+	best, bestRank := 0, rank[0]
+	for i, r := range rank {
+		sum += r
+		if r > bestRank {
+			best, bestRank = i, r
+		}
+	}
+	if math.Abs(sum-1) > 0.05 {
+		return Output{}, fmt.Errorf("page_rank: ranks sum to %v, want ~1", sum)
+	}
+	return Output{
+		Digest: digestOf(u64bytes(math.Float64bits(bestRank)), u64bytes(uint64(best))),
+		Bytes:  nodes * 8,
+		Detail: fmt.Sprintf("top node %d rank %.6f", best, bestRank),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Disk workloads
+
+func genText(seed uint64, n int) []byte {
+	s := rng.New(seed)
+	words := []string{"sky", "cloud", "function", "instance", "poll", "zone", "region", "retry", "route", "cpu"}
+	var b bytes.Buffer
+	b.Grow(n)
+	for b.Len() < n {
+		b.WriteString(words[s.Intn(len(words))])
+		if s.Bool(0.15) {
+			b.WriteByte('\n')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.Bytes()
+}
+
+func runDiskWriter(in Input) (Output, error) {
+	dir, err := os.MkdirTemp(in.tempDir(), "disk_writer")
+	if err != nil {
+		return Output{}, fmt.Errorf("disk_writer: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	text := genText(in.Seed, 64<<10)
+	rounds := 10 * in.scale()
+	written := 0
+	h := sha1.New()
+	for i := 0; i < rounds; i++ {
+		path := filepath.Join(dir, "chunk_"+strconv.Itoa(i)+".txt")
+		if err := os.WriteFile(path, text, 0o600); err != nil {
+			return Output{}, fmt.Errorf("disk_writer: %w", err)
+		}
+		back, err := os.ReadFile(path)
+		if err != nil {
+			return Output{}, fmt.Errorf("disk_writer: %w", err)
+		}
+		_, _ = h.Write(back[:64])
+		written += len(back)
+		if err := os.Remove(path); err != nil {
+			return Output{}, fmt.Errorf("disk_writer: %w", err)
+		}
+	}
+	return Output{
+		Digest: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  written,
+		Detail: fmt.Sprintf("wrote and deleted %d files (%d bytes)", rounds, written),
+	}, nil
+}
+
+// runDiskWriteProcess reproduces the Table-1 function that shells out to
+// wc, base64, sha1sum and cat. The shell tools are substituted with exact
+// in-process equivalents so the workload has no external dependencies; the
+// I/O + byte-crunching profile is the same.
+func runDiskWriteProcess(in Input) (Output, error) {
+	dir, err := os.MkdirTemp(in.tempDir(), "disk_write_process")
+	if err != nil {
+		return Output{}, fmt.Errorf("disk_write_and_process: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	text := genText(in.Seed, 256<<10)
+	path := filepath.Join(dir, "large.txt")
+	if err := os.WriteFile(path, text, 0o600); err != nil {
+		return Output{}, fmt.Errorf("disk_write_and_process: %w", err)
+	}
+	loops := 4 * in.scale()
+	var lines, wordCount, chars int
+	h := sha1.New()
+	processed := 0
+	for i := 0; i < loops; i++ {
+		data, err := os.ReadFile(path) // cat
+		if err != nil {
+			return Output{}, fmt.Errorf("disk_write_and_process: %w", err)
+		}
+		lines, wordCount, chars = wc(data)                 // wc
+		encoded := base64.StdEncoding.EncodeToString(data) // base64
+		sum := sha1.Sum(data)                              // sha1sum
+		_, _ = h.Write(sum[:])                             //
+		processed += len(data) + len(encoded)              //
+		_ = encoded                                        //
+	}
+	return Output{
+		Digest: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  processed,
+		Detail: fmt.Sprintf("%d loops: %d lines, %d words, %d chars", loops, lines, wordCount, chars),
+	}, nil
+}
+
+func wc(data []byte) (lines, words, chars int) {
+	chars = len(data)
+	inWord := false
+	for _, c := range data {
+		switch c {
+		case '\n':
+			lines++
+			inWord = false
+		case ' ', '\t', '\r':
+			inWord = false
+		default:
+			if !inWord {
+				words++
+				inWord = true
+			}
+		}
+	}
+	return lines, words, chars
+}
+
+// ---------------------------------------------------------------------------
+// Zipper
+
+func runZipper(in Input) (Output, error) {
+	s := rng.New(in.Seed)
+	files := 8 * in.scale()
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	raw := 0
+	for i := 0; i < files; i++ {
+		w, err := zw.Create(fmt.Sprintf("file_%03d.txt", i))
+		if err != nil {
+			return Output{}, fmt.Errorf("zipper: %w", err)
+		}
+		content := genText(s.Uint64(), 48<<10)
+		if _, err := w.Write(content); err != nil {
+			return Output{}, fmt.Errorf("zipper: %w", err)
+		}
+		raw += len(content)
+	}
+	if err := zw.Close(); err != nil {
+		return Output{}, fmt.Errorf("zipper: %w", err)
+	}
+	// Verify the archive round-trips.
+	zr, err := zip.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		return Output{}, fmt.Errorf("zipper: reopen: %w", err)
+	}
+	if len(zr.File) != files {
+		return Output{}, fmt.Errorf("zipper: archive holds %d files, want %d", len(zr.File), files)
+	}
+	return Output{
+		Digest: digestOf(u64bytes(uint64(buf.Len())), u64bytes(uint64(raw))),
+		Bytes:  buf.Len(),
+		Detail: fmt.Sprintf("zipped %d files: %d -> %d bytes", files, raw, buf.Len()),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Thumbnailer
+
+func runThumbnailer(in Input) (Output, error) {
+	s := rng.New(in.Seed)
+	side := 256 * in.scale()
+	src := make([]byte, side*side*4)
+	for i := range src {
+		src[i] = byte(s.Uint64())
+	}
+	sizes := []int{128, 64, 32}
+	h := sha1.New()
+	outBytes := 0
+	for _, target := range sizes {
+		thumb := scaleNearest(src, side, target)
+		_, _ = h.Write(thumb)
+		outBytes += len(thumb)
+	}
+	return Output{
+		Digest: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  outBytes,
+		Detail: fmt.Sprintf("scaled %dx%d bitmap to %v", side, side, sizes),
+	}, nil
+}
+
+// scaleNearest downscales a square RGBA bitmap with nearest-neighbour
+// sampling.
+func scaleNearest(src []byte, srcSide, dstSide int) []byte {
+	dst := make([]byte, dstSide*dstSide*4)
+	for y := 0; y < dstSide; y++ {
+		sy := y * srcSide / dstSide
+		for x := 0; x < dstSide; x++ {
+			sx := x * srcSide / dstSide
+			si := (sy*srcSide + sx) * 4
+			di := (y*dstSide + x) * 4
+			copy(dst[di:di+4], src[si:si+4])
+		}
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Sha1 hash
+
+func runSha1Hash(in Input) (Output, error) {
+	payload := in.Payload
+	if len(payload) == 0 {
+		payload = genText(in.Seed, 32<<10)
+	}
+	rounds := 200 * in.scale()
+	sum := sha1.Sum(payload)
+	for i := 1; i < rounds; i++ {
+		h := sha1.New()
+		_, _ = h.Write(sum[:])
+		_, _ = h.Write(payload)
+		copy(sum[:], h.Sum(nil))
+	}
+	return Output{
+		Digest: hex.EncodeToString(sum[:]),
+		Bytes:  len(payload) * rounds,
+		Detail: fmt.Sprintf("%d chained sha1 rounds over %d bytes", rounds, len(payload)),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// JSON flattener
+
+func genNested(s *rng.Stream, depth, fanout int) map[string]any {
+	m := make(map[string]any, fanout)
+	for i := 0; i < fanout; i++ {
+		key := "k" + strconv.Itoa(i)
+		if depth > 0 && s.Bool(0.6) {
+			m[key] = genNested(s, depth-1, fanout)
+		} else if s.Bool(0.5) {
+			m[key] = s.Float64()
+		} else {
+			m[key] = "v" + strconv.Itoa(s.Intn(1000))
+		}
+	}
+	return m
+}
+
+func flatten(prefix string, v any, out map[string]string) {
+	switch val := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, val[k], out)
+		}
+	case float64:
+		out[prefix] = strconv.FormatFloat(val, 'g', -1, 64)
+	case string:
+		out[prefix] = val
+	default:
+		out[prefix] = fmt.Sprint(val)
+	}
+}
+
+func runJSONFlattener(in Input) (Output, error) {
+	s := rng.New(in.Seed)
+	depth := 5
+	fanout := 6 + in.scale()
+	nested := genNested(s, depth, fanout)
+	// Round-trip through encoding/json so the workload exercises real
+	// serialization, as the Python original does.
+	blob, err := json.Marshal(nested)
+	if err != nil {
+		return Output{}, fmt.Errorf("json_flattener: marshal: %w", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		return Output{}, fmt.Errorf("json_flattener: unmarshal: %w", err)
+	}
+	flat := make(map[string]string)
+	flatten("", decoded, flat)
+	if len(flat) == 0 {
+		return Output{}, fmt.Errorf("json_flattener: empty flatten result")
+	}
+	keys := make([]string, 0, len(flat))
+	for k := range flat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha1.New()
+	for _, k := range keys {
+		_, _ = h.Write([]byte(k))
+		_, _ = h.Write([]byte{'='})
+		_, _ = h.Write([]byte(flat[k]))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return Output{
+		Digest: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  len(blob),
+		Detail: fmt.Sprintf("flattened %d byte JSON into %d pairs", len(blob), len(flat)),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Math service
+
+func runMathService(in Input) (Output, error) {
+	s := rng.New(in.Seed)
+	n := 50000 * in.scale()
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = s.Float64()
+		b[i] = s.Float64()
+	}
+	var acc float64
+	for round := 0; round < 12; round++ {
+		for i := 0; i < n; i++ {
+			a[i] = a[i]*1.000001 + b[i]*0.5
+			acc += math.Sqrt(math.Abs(a[i] - b[i]))
+		}
+	}
+	return Output{
+		Digest: digestOf(u64bytes(math.Float64bits(acc))),
+		Bytes:  n * 16,
+		Detail: fmt.Sprintf("12 rounds over %d-element arrays, acc %.4f", n, acc),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Matrix multiply
+
+func runMatrixMultiply(in Input) (Output, error) {
+	s := rng.New(in.Seed)
+	n := 64 * in.scale()
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = s.Float64()
+		b[i] = s.Float64()
+	}
+	c := make([]float64, n*n)
+	for loop := 0; loop < 3; loop++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				aik := a[i*n+k]
+				row := b[k*n : k*n+n]
+				out := c[i*n : i*n+n]
+				for j := 0; j < n; j++ {
+					out[j] += aik * row[j]
+				}
+			}
+		}
+		// Dot products between consecutive rows.
+		for i := 0; i+1 < n; i++ {
+			var dot float64
+			for j := 0; j < n; j++ {
+				dot += c[i*n+j] * c[(i+1)*n+j]
+			}
+			a[i*n] = dot * 1e-6
+		}
+	}
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += c[i*n+i]
+	}
+	return Output{
+		Digest: digestOf(u64bytes(math.Float64bits(trace))),
+		Bytes:  n * n * 8 * 3,
+		Detail: fmt.Sprintf("3 multiplies of %dx%d matrices, trace %.4f", n, n, trace),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Logistic regression
+
+func runLogisticRegression(in Input) (Output, error) {
+	s := rng.New(in.Seed)
+	const features = 16
+	samples := 4000 * in.scale()
+	xs := make([][features]float64, samples)
+	ys := make([]float64, samples)
+	var trueW [features]float64
+	for i := range trueW {
+		trueW[i] = s.Norm(0, 1)
+	}
+	for i := 0; i < samples; i++ {
+		var dot float64
+		for j := 0; j < features; j++ {
+			xs[i][j] = s.Norm(0, 1)
+			dot += xs[i][j] * trueW[j]
+		}
+		if sigmoid(dot) > s.Float64() {
+			ys[i] = 1
+		}
+	}
+
+	// SGD across two threads, as Table 1 specifies: each worker trains on
+	// half the data; weights are averaged after every epoch.
+	const epochs = 6
+	const lr = 0.05
+	var w [features]float64
+	half := samples / 2
+	for epoch := 0; epoch < epochs; epoch++ {
+		var wg sync.WaitGroup
+		partials := make([][features]float64, 2)
+		for t := 0; t < 2; t++ {
+			t := t
+			local := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				lo, hi := t*half, (t+1)*half
+				for i := lo; i < hi; i++ {
+					var dot float64
+					for j := 0; j < features; j++ {
+						dot += xs[i][j] * local[j]
+					}
+					grad := sigmoid(dot) - ys[i]
+					for j := 0; j < features; j++ {
+						local[j] -= lr * grad * xs[i][j]
+					}
+				}
+				partials[t] = local
+			}()
+		}
+		wg.Wait()
+		for j := 0; j < features; j++ {
+			w[j] = (partials[0][j] + partials[1][j]) / 2
+		}
+	}
+
+	// Training accuracy must beat chance decisively on separable-ish data.
+	correct := 0
+	for i := 0; i < samples; i++ {
+		var dot float64
+		for j := 0; j < features; j++ {
+			dot += xs[i][j] * w[j]
+		}
+		pred := 0.0
+		if sigmoid(dot) >= 0.5 {
+			pred = 1
+		}
+		if pred == ys[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(samples)
+	if acc < 0.7 {
+		return Output{}, fmt.Errorf("logistic_regression: accuracy %.3f below sanity floor", acc)
+	}
+	var wsum float64
+	for _, v := range w {
+		wsum += v
+	}
+	return Output{
+		Digest: digestOf(u64bytes(math.Float64bits(wsum)), u64bytes(uint64(correct))),
+		Bytes:  samples * features * 8,
+		Detail: fmt.Sprintf("%d epochs x %d samples, accuracy %.3f", epochs, samples, acc),
+	}, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
