@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"skyfaas/internal/experiments"
+	"skyfaas/internal/metrics"
 	"skyfaas/internal/tablefmt"
 	"skyfaas/internal/workload"
 )
@@ -37,6 +38,7 @@ func run(args []string) error {
 	profileRuns := fs.Int("profile-runs", 0, "EX-5 profiling executions per workload per zone (0 = default)")
 	days := fs.Int("days", 0, "EX-4/EX-5 evaluation days (0 = paper's 14)")
 	csvDir := fs.String("csvdir", "", "also write each figure's dataset as CSV into this directory")
+	dumpMetrics := fs.Bool("metrics", false, "dump a Prometheus-text metrics snapshot covering all experiments after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,7 +155,7 @@ func run(args []string) error {
 		return err
 	}
 
-	return runOne("ex5", func() (string, error) {
+	if err := runOne("ex5", func() (string, error) {
 		cfg := experiments.EX5Config{Seed: *seed}
 		if *days > 0 {
 			cfg.Days = *days
@@ -174,5 +176,15 @@ func run(args []string) error {
 			}
 		}
 		return res.Render(), nil
-	})
+	}); err != nil {
+		return err
+	}
+
+	if *dumpMetrics {
+		// Every runtime the experiments built reported into the process
+		// default registry, so one snapshot covers the whole run.
+		fmt.Println("==== metrics snapshot ====")
+		return metrics.Default().WritePrometheus(os.Stdout)
+	}
+	return nil
 }

@@ -7,6 +7,9 @@
 //	curl -XPOST localhost:8080/v1/characterize -d '{"az":"us-west-1a","polls":6}'
 //	curl -XPOST localhost:8080/v1/profile -d '{"workload":"zipper","zones":["us-west-1a"],"runs":300}'
 //	curl -XPOST localhost:8080/v1/burst -d '{"strategy":"hybrid","workload":"zipper","n":200,"candidates":["us-west-1a","sa-east-1a"]}'
+//	curl localhost:8080/healthz      # liveness: is the sim goroutine pumping?
+//	curl localhost:8080/metrics      # Prometheus text exposition
+//	curl localhost:8080/metrics.json # same snapshot as JSON
 package main
 
 import (
@@ -59,7 +62,7 @@ func run(args []string) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
-	log.Printf("skyd listening on %s (seed %d, %gx pacing)", *addr, *seed, *speedup)
+	log.Printf("skyd listening on %s (seed %d, %gx pacing); /metrics, /metrics.json, /healthz live", *addr, *seed, *speedup)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -40,6 +40,7 @@ func run(args []string) error {
 	refreshPolls := fs.Int("refresh-polls", 6, "characterization polls per zone")
 	client := fs.String("client", "", "client city (seattle, london, tokyo, ...): adds latency-bound and cost-aware strategies")
 	maxRTT := fs.Duration("max-rtt", 120*time.Millisecond, "latency bound for the -client strategy")
+	dumpMetrics := fs.Bool("metrics", false, "dump a Prometheus-text metrics snapshot after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,7 +79,7 @@ func run(args []string) error {
 	}
 	fixed := zones[0]
 
-	return rt.Do(func(p *sim.Proc) error {
+	err = rt.Do(func(p *sim.Proc) error {
 		fmt.Printf("characterizing %d zones (%d polls each)...\n", len(zones), *refreshPolls)
 		sampleCost, err := rt.Refresh(p, zones, *refreshPolls)
 		if err != nil {
@@ -141,4 +142,14 @@ func run(args []string) error {
 		fmt.Printf("\nsampling spend %s, profiling spend %s\n", tablefmt.USD(sampleCost), tablefmt.USD(profCost))
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	if *dumpMetrics {
+		fmt.Println("\n==== metrics snapshot ====")
+		if err := rt.Metrics().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }

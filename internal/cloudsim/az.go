@@ -100,6 +100,7 @@ type AZ struct {
 	hostSeq     int
 	fiSeq       int
 	scaleUpUsed bool
+	m           azMetrics
 }
 
 func newAZ(c *Cloud, region *Region, spec AZSpec) *AZ {
@@ -111,6 +112,7 @@ func newAZ(c *Cloud, region *Region, spec AZSpec) *AZ {
 		deployments: make(map[string]*Deployment),
 		targetMix:   normalizeMix(spec.Mix),
 		baseMix:     normalizeMix(spec.Mix),
+		m:           newAZMetrics(c.opts.Metrics, spec.Name),
 	}
 	hostFIs := spec.hostFIs()
 	n := spec.PoolFIs / hostFIs
@@ -242,11 +244,13 @@ func (az *AZ) acquireFI(dep *Deployment) (*FI, bool, error) {
 	}
 	host := az.placeHost(dep.arch)
 	if host == nil {
+		az.m.saturation.Inc()
 		az.maybeScaleUp()
 		return nil, false, ErrSaturated
 	}
 	host.used++
 	az.liveFIs++
+	az.m.liveFIs.Set(float64(az.liveFIs))
 	az.fiSeq++
 	fi := &FI{
 		id:   fmt.Sprintf("fi-%s-%d", az.spec.Name, az.fiSeq),
@@ -322,6 +326,7 @@ func (az *AZ) destroyFI(fi *FI) {
 	fi.destroyed = true
 	fi.host.used--
 	az.liveFIs--
+	az.m.liveFIs.Set(float64(az.liveFIs))
 }
 
 // contention returns the diurnal load factor at t: 1 at the quietest hour,

@@ -17,6 +17,7 @@ import (
 
 	"skyfaas/internal/cpu"
 	"skyfaas/internal/geo"
+	"skyfaas/internal/metrics"
 	"skyfaas/internal/rng"
 	"skyfaas/internal/saaf"
 	"skyfaas/internal/sim"
@@ -138,6 +139,10 @@ type Options struct {
 	// its caller — the platform-side tap for logging and tracing. It runs
 	// inside the simulation and must not block.
 	OnResponse func(Request, Response)
+	// Metrics, when set, receives per-zone instrumentation (invocations,
+	// cold starts, failures, saturation events, live instances, billed
+	// latency). Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -385,33 +390,42 @@ func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
 		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: AZ %q", ErrNoSuchDeployment, req.AZ), Sent: sent})
 		return
 	}
+	az.m.invocations.Inc()
 	dep, ok := az.deployments[req.Function]
 	if !ok {
+		az.m.failBadReq.Inc()
 		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: %s/%s", ErrNoSuchDeployment, req.AZ, req.Function), Sent: sent})
 		return
 	}
 	behavior := dep.behavior
 	if req.Work != nil {
 		if !dep.dynamic {
+			az.m.failBadReq.Inc()
 			c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: work override on non-dynamic deployment", ErrBadRequest), Sent: sent})
 			return
 		}
 		behavior = req.Work
 	}
 	if behavior == nil {
+		az.m.failBadReq.Inc()
 		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: deployment has no behavior", ErrBadRequest), Sent: sent})
 		return
 	}
 
 	quotaKey := req.Account + "|" + az.region.spec.Name
 	if c.inflight[quotaKey] >= c.opts.Quota {
+		az.m.failThrottled.Inc()
 		c.respond(cl, oneWay, Response{Err: ErrThrottled, Sent: sent})
 		return
 	}
 	fi, cold, err := az.acquireFI(dep)
 	if err != nil {
+		az.m.failSaturated.Inc()
 		c.respond(cl, oneWay, Response{Err: err, Sent: sent})
 		return
+	}
+	if cold {
+		az.m.coldStarts.Inc()
 	}
 	c.inflight[quotaKey]++
 
@@ -450,6 +464,11 @@ func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
 		respErr := handlerErr
 		if respErr == nil && perr != nil {
 			respErr = perr
+		}
+		if respErr != nil {
+			az.m.failHandler.Inc()
+		} else {
+			az.m.billedMS.Observe(billedMS)
 		}
 		c.respond(cl, oneWay, Response{
 			Err:           respErr,

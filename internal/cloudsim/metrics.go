@@ -1,0 +1,45 @@
+package cloudsim
+
+import (
+	"skyfaas/internal/metrics"
+)
+
+// azMetrics caches one zone's instrumentation series. Series are resolved
+// once at zone construction so the per-invocation hot path touches only
+// lock-free atomics; with no registry configured every handle is nil and
+// every operation a no-op.
+type azMetrics struct {
+	invocations   *metrics.Counter
+	coldStarts    *metrics.Counter
+	failThrottled *metrics.Counter
+	failSaturated *metrics.Counter
+	failBadReq    *metrics.Counter
+	failHandler   *metrics.Counter
+	saturation    *metrics.Counter
+	liveFIs       *metrics.Gauge
+	billedMS      *metrics.Histogram
+}
+
+func newAZMetrics(r *metrics.Registry, az string) azMetrics {
+	azL := metrics.L("az", az)
+	failures := func(reason string) *metrics.Counter {
+		return r.Counter("sky_cloudsim_failures_total",
+			"invocations that failed, by zone and cause", azL, metrics.L("reason", reason))
+	}
+	return azMetrics{
+		invocations: r.Counter("sky_cloudsim_invocations_total",
+			"invocations that reached the zone", azL),
+		coldStarts: r.Counter("sky_cloudsim_cold_starts_total",
+			"invocations that initialized a fresh function instance", azL),
+		failThrottled: failures("throttled"),
+		failSaturated: failures("saturated"),
+		failBadReq:    failures("bad_request"),
+		failHandler:   failures("handler"),
+		saturation: r.Counter("sky_cloudsim_saturation_events_total",
+			"placement attempts that found no host capacity", azL),
+		liveFIs: r.Gauge("sky_cloudsim_live_fis",
+			"currently provisioned function instances", azL),
+		billedMS: r.Histogram("sky_cloudsim_billed_ms",
+			"billed duration of completed invocations (milliseconds)", nil, azL),
+	}
+}

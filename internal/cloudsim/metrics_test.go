@@ -1,0 +1,156 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/metrics"
+	"skyfaas/internal/sim"
+)
+
+func metricsWorld(t *testing.T, reg *metrics.Registry, poolFIs int) (*sim.Env, *Cloud) {
+	t.Helper()
+	env := sim.NewEnv(time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC))
+	catalog := []RegionSpec{{
+		Provider: AWS, Name: "m1", Loc: geo.Coord{Lat: 40, Lon: -80},
+		AZs: []AZSpec{{
+			Name: "m1-a", PoolFIs: poolFIs, HostFIs: 4,
+			Mix: map[cpu.Kind]float64{cpu.Xeon25: 1},
+		}},
+	}}
+	cloud := New(env, 11, catalog, Options{Metrics: reg, HorizonDays: 1})
+	return env, cloud
+}
+
+func counterValue(t *testing.T, reg *metrics.Registry, name string, labels ...metrics.Label) float64 {
+	t.Helper()
+	snap := reg.Snapshot()
+	for _, fam := range snap.Metrics {
+		if fam.Name != name {
+			continue
+		}
+	series:
+		for _, s := range fam.Series {
+			for _, want := range labels {
+				found := false
+				for _, l := range s.Labels {
+					if l == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue series
+				}
+			}
+			return s.Value
+		}
+	}
+	return -1
+}
+
+func TestCloudCountsInvocationsAndColdStarts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	env, cloud := metricsWorld(t, reg, 64)
+	if _, err := cloud.Deploy("m1-a", "fn", DeployConfig{
+		MemoryMB: 2048, Behavior: SleepBehavior{D: 50 * time.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.Go("client", func(p *sim.Proc) error {
+		// First call cold, second reuses the warm instance.
+		for i := 0; i < 2; i++ {
+			if resp := cloud.Invoke(p, Request{Account: "a", AZ: "m1-a", Function: "fn"}); !resp.OK() {
+				t.Errorf("invoke %d: %v", i, resp.Err)
+			}
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	az := metrics.L("az", "m1-a")
+	if got := counterValue(t, reg, "sky_cloudsim_invocations_total", az); got != 2 {
+		t.Fatalf("invocations = %v, want 2", got)
+	}
+	if got := counterValue(t, reg, "sky_cloudsim_cold_starts_total", az); got != 1 {
+		t.Fatalf("cold starts = %v, want 1", got)
+	}
+	// Both completions landed in the billed-duration histogram.
+	var hist *metrics.HistSnapshot
+	for _, fam := range reg.Snapshot().Metrics {
+		if fam.Name == "sky_cloudsim_billed_ms" {
+			hist = fam.Series[0].Histogram
+		}
+	}
+	if hist == nil || hist.Count != 2 {
+		t.Fatalf("billed histogram = %+v", hist)
+	}
+}
+
+func TestCloudCountsSaturation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	env, cloud := metricsWorld(t, reg, 4) // one host, four slots
+	if _, err := cloud.Deploy("m1-a", "fn", DeployConfig{
+		MemoryMB: 2048, Behavior: SleepBehavior{D: time.Second},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var failures int
+	env.Go("client", func(p *sim.Proc) error {
+		evs := make([]*sim.Event, 6)
+		for i := range evs {
+			ev := sim.NewEvent(env)
+			evs[i] = ev
+			cloud.StartInvoke(Request{Account: "a", AZ: "m1-a", Function: "fn"},
+				func(r Response) { ev.Trigger(r) })
+		}
+		for _, ev := range evs {
+			if resp, ok := p.Wait(ev).(Response); ok && !resp.OK() {
+				failures++
+			}
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2 (6 concurrent calls on 4 slots)", failures)
+	}
+	az := metrics.L("az", "m1-a")
+	if got := counterValue(t, reg, "sky_cloudsim_saturation_events_total", az); got != 2 {
+		t.Fatalf("saturation events = %v, want 2", got)
+	}
+	if got := counterValue(t, reg, "sky_cloudsim_failures_total", az, metrics.L("reason", "saturated")); got != 2 {
+		t.Fatalf("saturated failures = %v, want 2", got)
+	}
+	// All instances idle now; after keep-alive expiry the live-FI gauge
+	// returns to zero.
+	if err := env.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "sky_cloudsim_live_fis", az); got != 0 {
+		t.Fatalf("live FIs after keep-alive = %v, want 0", got)
+	}
+}
+
+func TestCloudWithoutRegistryIsSilent(t *testing.T) {
+	env, cloud := metricsWorld(t, nil, 64)
+	if _, err := cloud.Deploy("m1-a", "fn", DeployConfig{
+		MemoryMB: 2048, Behavior: SleepBehavior{D: time.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.Go("client", func(p *sim.Proc) error {
+		if resp := cloud.Invoke(p, Request{Account: "a", AZ: "m1-a", Function: "fn"}); !resp.OK() {
+			t.Errorf("invoke: %v", resp.Err)
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

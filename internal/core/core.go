@@ -20,6 +20,7 @@ import (
 	"skyfaas/internal/faas"
 	"skyfaas/internal/geo"
 	"skyfaas/internal/mesh"
+	"skyfaas/internal/metrics"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sampler"
 	"skyfaas/internal/sim"
@@ -50,6 +51,11 @@ type Config struct {
 	// SkipMesh replaces the full deployment matrix with a minimal one
 	// (one x86 endpoint per zone) for fast tests.
 	SkipMesh bool
+	// Metrics receives runtime instrumentation (router decisions, cloudsim
+	// per-zone counters, latency histograms). Nil means the process-wide
+	// metrics.Default() registry, so CLI tools can dump a single snapshot
+	// covering every runtime the process ran.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Account == "" {
 		c.Account = "sky"
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.Default()
 	}
 	return c
 }
@@ -75,6 +84,7 @@ type Runtime struct {
 	store   *charact.Store
 	perf    *router.PerfModel
 	router  *router.Router
+	metrics *metrics.Registry
 	sampled map[string]bool // zones with sampling endpoints deployed
 }
 
@@ -82,6 +92,9 @@ type Runtime struct {
 func New(cfg Config) (*Runtime, error) {
 	cfg = cfg.withDefaults()
 	env := sim.NewEnv(cfg.Epoch)
+	if cfg.CloudOpts.Metrics == nil {
+		cfg.CloudOpts.Metrics = cfg.Metrics
+	}
 	cloud := cloudsim.New(env, cfg.Seed, cfg.Catalog, cfg.CloudOpts)
 	var clientOpts []faas.Option
 	if cfg.ClientLoc != nil {
@@ -95,6 +108,7 @@ func New(cfg Config) (*Runtime, error) {
 		sampler: sampler.New(client, cfg.SamplerCfg),
 		store:   charact.NewStore(cfg.StoreTTL),
 		perf:    router.NewPerfModel(),
+		metrics: cfg.Metrics,
 		sampled: make(map[string]bool),
 	}
 	meshCfg := cfg.MeshCfg
@@ -113,6 +127,7 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	rt.mesh = m
 	rt.router = router.New(client, rt.mesh, rt.store, rt.perf)
+	rt.router.UseMetrics(rt.metrics)
 	return rt, nil
 }
 
@@ -139,6 +154,10 @@ func (rt *Runtime) Perf() *router.PerfModel { return rt.perf }
 
 // Router returns the smart routing system.
 func (rt *Runtime) Router() *router.Router { return rt.router }
+
+// Metrics returns the instrumentation registry every layer of this runtime
+// reports into.
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.metrics }
 
 // Do runs fn as the client process and drives the simulation until all
 // work completes, returning fn's error.

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sky_requests_total", "requests seen", L("az", "us-west-1a")).Add(7)
+	r.Counter("sky_requests_total", "requests seen", L("az", `we"ird\az`)).Add(1)
+	r.Gauge("sky_queue_depth", "commands waiting").Set(3)
+	h := r.Histogram("sky_latency_ms", "request latency", []float64{1, 10}, L("path", "/v1/burst"))
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP sky_requests_total requests seen",
+		"# TYPE sky_requests_total counter",
+		`sky_requests_total{az="us-west-1a"} 7`,
+		`sky_requests_total{az="we\"ird\\az"} 1`,
+		"# TYPE sky_queue_depth gauge",
+		"sky_queue_depth 3",
+		"# TYPE sky_latency_ms histogram",
+		`sky_latency_ms_bucket{path="/v1/burst",le="1"} 1`,
+		`sky_latency_ms_bucket{path="/v1/burst",le="10"} 2`,
+		`sky_latency_ms_bucket{path="/v1/burst",le="+Inf"} 3`,
+		`sky_latency_ms_sum{path="/v1/burst"} 55.5`,
+		`sky_latency_ms_count{path="/v1/burst"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families sorted by name: the histogram block precedes the counters.
+	if strings.Index(out, "sky_latency_ms") > strings.Index(out, "sky_queue_depth") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("round-trip failed: %v\n%s", err, b.String())
+	}
+	if len(snap.Metrics) != 3 {
+		t.Fatalf("families = %d, want 3", len(snap.Metrics))
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	if byName["sky_requests_total"].Type != KindCounter || len(byName["sky_requests_total"].Series) != 2 {
+		t.Fatalf("counter family = %+v", byName["sky_requests_total"])
+	}
+	hist := byName["sky_latency_ms"].Series[0].Histogram
+	if hist == nil || hist.Count != 3 || hist.Sum != 55.5 {
+		t.Fatalf("histogram = %+v", hist)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	a := buildTestRegistry().Snapshot()
+	b := buildTestRegistry().Snapshot()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshots of identical programs differ:\n%s\n%s", ja, jb)
+	}
+}

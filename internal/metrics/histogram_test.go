@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.Sum != 0 {
+		t.Fatalf("empty histogram: count=%d sum=%v", snap.Count, snap.Sum)
+	}
+	if got := snap.Mean(); got != 0 {
+		t.Fatalf("Mean() = %v, want 0", got)
+	}
+	if got := snap.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile(0.99) = %v, want 0", got)
+	}
+	if len(snap.Buckets) != 4 { // 3 bounds + the +Inf overflow
+		t.Fatalf("buckets = %d, want 4", len(snap.Buckets))
+	}
+	for _, b := range snap.Buckets {
+		if b.Count != 0 {
+			t.Fatalf("empty histogram has bucket count %d at le=%v", b.Count, b.UpperBound)
+		}
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	wantCum := []uint64{2, 4, 6, 6} // le=1: {0.5,1}; le=10: +{1.5,10}; le=100: +{99,100}
+	for i, want := range wantCum {
+		if snap.Buckets[i].Count != want {
+			t.Fatalf("bucket[%d] = %d, want %d (snap %+v)", i, snap.Buckets[i].Count, want, snap)
+		}
+	}
+	if snap.Count != 6 || snap.Sum != 212 {
+		t.Fatalf("count=%d sum=%v", snap.Count, snap.Sum)
+	}
+}
+
+func TestHistogramBeyondLastBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(10.0001)
+	h.Observe(1e12)
+	h.Observe(math.Inf(1))
+	snap := h.Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("count = %d, want 3 (overflow observations must not be dropped)", snap.Count)
+	}
+	last := snap.Buckets[len(snap.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 3 {
+		t.Fatalf("+Inf bucket = %+v", last)
+	}
+	if snap.Buckets[0].Count != 0 || snap.Buckets[1].Count != 0 {
+		t.Fatalf("finite buckets non-empty: %+v", snap.Buckets)
+	}
+	// The +Inf quantile estimate clamps to the last finite bound.
+	if got := snap.Quantile(0.5); got != 10 {
+		t.Fatalf("Quantile(0.5) = %v, want 10", got)
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(math.NaN())
+	h.Observe(5)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Sum != 5 {
+		t.Fatalf("after NaN: count=%d sum=%v", snap.Count, snap.Sum)
+	}
+}
+
+func TestHistogramNegativeAndUnsortedBounds(t *testing.T) {
+	h := NewHistogram([]float64{50, -1, 5}) // bounds get sorted
+	h.Observe(-10)
+	h.Observe(0)
+	h.Observe(7)
+	snap := h.Snapshot()
+	if snap.Buckets[0].UpperBound != -1 || snap.Buckets[0].Count != 1 {
+		t.Fatalf("bucket[0] = %+v", snap.Buckets[0])
+	}
+	if snap.Buckets[1].Count != 2 || snap.Buckets[2].Count != 3 {
+		t.Fatalf("buckets = %+v", snap.Buckets)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many goroutines;
+// run under -race this is the package's data-race certification.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16, 32})
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64((w*perW + i) % 40))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != writers*perW {
+		t.Fatalf("count = %d, want %d", snap.Count, writers*perW)
+	}
+	// Every value 0..39 appears writers*perW/40 times; sum is exact because
+	// the values are small integers.
+	wantSum := float64(writers*perW) / 40 * (39 * 40 / 2)
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+	if last := snap.Buckets[len(snap.Buckets)-1].Count; last != snap.Count {
+		t.Fatalf("+Inf cumulative %d != count %d", last, snap.Count)
+	}
+}
+
+// TestHistogramSnapshotWhileWriting takes snapshots concurrently with
+// writers and checks every one is internally consistent: buckets are
+// cumulative, the +Inf bucket equals Count, and Count is monotone across
+// snapshots.
+func TestHistogramSnapshotWhileWriting(t *testing.T) {
+	h := NewHistogram([]float64{5, 10, 20})
+	stop := make(chan struct{})
+	var wrote atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(i % 25))
+				wrote.Add(1)
+			}
+		}()
+	}
+	var lastCount uint64
+	for i := 0; i < 200; i++ {
+		snap := h.Snapshot()
+		var prev uint64
+		for _, b := range snap.Buckets {
+			if b.Count < prev {
+				t.Fatalf("buckets not cumulative: %+v", snap.Buckets)
+			}
+			prev = b.Count
+		}
+		if snap.Buckets[len(snap.Buckets)-1].Count != snap.Count {
+			t.Fatalf("snapshot inconsistent: +Inf=%d count=%d",
+				snap.Buckets[len(snap.Buckets)-1].Count, snap.Count)
+		}
+		if snap.Count < lastCount {
+			t.Fatalf("count went backwards: %d -> %d", lastCount, snap.Count)
+		}
+		lastCount = snap.Count
+	}
+	close(stop)
+	wg.Wait()
+	final := h.Snapshot()
+	if final.Count != wrote.Load() {
+		t.Fatalf("final count %d != observations made %d", final.Count, wrote.Load())
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // all in the first bucket
+	}
+	snap := h.Snapshot()
+	// Median rank 50 of 100 falls midway through [0,10).
+	if got := snap.Quantile(0.5); got != 5 {
+		t.Fatalf("Quantile(0.5) = %v, want 5", got)
+	}
+	if got := snap.Quantile(1); got != 10 {
+		t.Fatalf("Quantile(1) = %v, want 10", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets(0,2,3) did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}

@@ -1,0 +1,305 @@
+// Package metrics is a small, dependency-free instrumentation layer for the
+// sky runtime: atomic counters, gauges, and fixed-bucket latency histograms
+// behind a registry with Prometheus-text and JSON exposition.
+//
+// The package serves two very different callers at once. The simulation
+// kernel is single-threaded and extremely hot — instrumented model code
+// (cloudsim, router) resolves its series once and then touches only
+// lock-free atomics on the fast path. HTTP handlers (skyd) are fully
+// concurrent — every operation on a Counter, Gauge, Histogram, or Registry
+// is safe without external locking, including taking a snapshot while
+// writers are active.
+//
+// All metric handles are nil-safe: methods on a nil *Counter, *Gauge, or
+// *Histogram are no-ops, so model code can hold unconditionally-called
+// handles and pay nothing when metrics are disabled.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates the metric families a registry can hold.
+type Kind string
+
+// The supported metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing integer. The zero value is ready to
+// use; a nil receiver is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add increments by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float64 that can go up and down. The zero value is ready to
+// use; a nil receiver is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments by delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// family is one named metric with a fixed kind, help string, label schema,
+// and (for histograms) bucket layout, holding every labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string  // sorted label keys all series must carry
+	bounds  []float64 // histogram upper bounds (nil otherwise)
+	mu      sync.RWMutex
+	series  map[string]any // series key -> *Counter | *Gauge | *Histogram
+	ordered []string       // series keys in first-seen order
+	byKey   map[string][]Label
+}
+
+// Registry holds metric families and hands out their series.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Runtimes that are not handed an
+// explicit registry record here, so CLI tools can dump one snapshot covering
+// everything the process ran.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter series of the named family with the given
+// labels, creating family and series on first use. It panics if the name is
+// already registered with a different kind or label schema — that is a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.series(name, help, KindCounter, nil, labels)
+	return s.(*Counter)
+}
+
+// Gauge returns the gauge series of the named family with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.series(name, help, KindGauge, nil, labels)
+	return s.(*Gauge)
+}
+
+// Histogram returns the histogram series of the named family with the given
+// labels. Buckets are cumulative upper bounds; nil means DefBuckets. All
+// series of one family share the first registration's bucket layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	s := r.series(name, help, KindHistogram, buckets, labels)
+	return s.(*Histogram)
+}
+
+func (r *Registry) series(name, help string, kind Kind, bounds []float64, labels []Label) any {
+	if r == nil {
+		// A nil registry hands out detached nil handles; every operation on
+		// them is a no-op.
+		switch kind {
+		case KindCounter:
+			return (*Counter)(nil)
+		case KindGauge:
+			return (*Gauge)(nil)
+		default:
+			return (*Histogram)(nil)
+		}
+	}
+	labels = normalizeLabels(labels)
+	fam := r.family(name, help, kind, bounds, labels)
+	return fam.get(labels)
+}
+
+func (r *Registry) family(name, help string, kind Kind, bounds []float64, labels []Label) *family {
+	keys := labelKeys(labels)
+	r.mu.RLock()
+	fam, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		fam, ok = r.families[name]
+		if !ok {
+			fam = &family{
+				name:   name,
+				help:   help,
+				kind:   kind,
+				labels: keys,
+				bounds: bounds,
+				series: make(map[string]any),
+				byKey:  make(map[string][]Label),
+			}
+			r.families[name] = fam
+		}
+		r.mu.Unlock()
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, fam.kind, kind))
+	}
+	if !equalStrings(fam.labels, keys) {
+		panic(fmt.Sprintf("metrics: %s registered with labels %v, requested with %v", name, fam.labels, keys))
+	}
+	return fam
+}
+
+func (f *family) get(labels []Label) any {
+	key := seriesKey(labels)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[key]; ok {
+		return s
+	}
+	switch f.kind {
+	case KindCounter:
+		s = &Counter{}
+	case KindGauge:
+		s = &Gauge{}
+	case KindHistogram:
+		s = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	f.ordered = append(f.ordered, key)
+	f.byKey[key] = labels
+	return s
+}
+
+// normalizeLabels sorts labels by key so {a=1,b=2} and {b=2,a=1} are the
+// same series.
+func normalizeLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func labelKeys(labels []Label) []string {
+	keys := make([]string, len(labels))
+	for i, l := range labels {
+		keys[i] = l.Key
+	}
+	return keys
+}
+
+func seriesKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

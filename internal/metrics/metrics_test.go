@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sky_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	// Same name + labels returns the same series.
+	if r.Counter("sky_test_total", "a counter") != c {
+		t.Fatal("second lookup returned a different series")
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("sky_labeled_total", "", L("az", "us-west-1a"))
+	b := r.Counter("sky_labeled_total", "", L("az", "us-west-1b"))
+	if a == b {
+		t.Fatal("different label values shared a series")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Fatal("increment leaked across series")
+	}
+	// Label order must not matter.
+	x := r.Counter("sky_two_labels_total", "", L("a", "1"), L("b", "2"))
+	y := r.Counter("sky_two_labels_total", "", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sky_kind_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("sky_kind_total", "")
+}
+
+func TestLabelSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sky_schema_total", "", L("az", "x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("changing the label schema did not panic")
+		}
+	}()
+	r.Counter("sky_schema_total", "", L("strategy", "hybrid"))
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("sky_depth", "")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("Value() = %v, want 2", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles reported nonzero values")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("nil histogram snapshot = %+v", s)
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	if s := r.Snapshot(); len(s.Metrics) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+func TestConcurrentCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("sky_conc_total", "").Inc()
+				r.Gauge("sky_conc_gauge", "").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("sky_conc_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("sky_conc_gauge", "").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+}
+
+func TestDefaultRegistryIsStable(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default() is not a stable singleton")
+	}
+}

@@ -1,0 +1,82 @@
+package router
+
+import (
+	"time"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/metrics"
+)
+
+// UseMetrics attaches an instrumentation registry: every burst reports its
+// route decision, retries, platform failures, region hops, per-CPU
+// completions, and elapsed time. Nil detaches.
+func (r *Router) UseMetrics(reg *metrics.Registry) { r.metrics = reg }
+
+// burstMetrics caches the per-strategy series one burst updates, resolved
+// once at burst start so the streaming retry loop stays allocation- and
+// lock-free.
+type burstMetrics struct {
+	reg       *metrics.Registry
+	strategy  string
+	retries   *metrics.Counter
+	failures  *metrics.Counter
+	elapsedMS *metrics.Histogram
+}
+
+func (r *Router) burstMetrics(strategy string) burstMetrics {
+	sL := metrics.L("strategy", strategy)
+	return burstMetrics{
+		reg:      r.metrics,
+		strategy: strategy,
+		retries: r.metrics.Counter("sky_router_retries_total",
+			"invocations reissued after a CPU-ban decline", sL),
+		failures: r.metrics.Counter("sky_router_failures_total",
+			"invocations reissued after a platform failure", sL),
+		elapsedMS: r.metrics.Histogram("sky_router_burst_elapsed_ms",
+			"burst wall time from start to last completion (virtual milliseconds)", nil, sL),
+	}
+}
+
+// recordDecision counts the route decision and, when the strategy hopped
+// away from the home (first-candidate) zone, the region hop.
+func (m burstMetrics) recordDecision(az string, candidates []string) {
+	sL := metrics.L("strategy", m.strategy)
+	m.reg.Counter("sky_router_bursts_total",
+		"bursts routed, by strategy", sL).Inc()
+	if len(candidates) > 0 && az != candidates[0] {
+		m.reg.Counter("sky_router_region_hops_total",
+			"bursts placed away from the home (first-candidate) zone", sL).Inc()
+	}
+}
+
+// recordResult publishes where a finished burst's work actually ran: the
+// per-CPU completion tallies, the fast/slow hit split against the perf
+// model's fastest known kind for the workload, and the elapsed time.
+func (m burstMetrics) recordResult(res BurstResult, perf *PerfModel, elapsed time.Duration) {
+	if m.reg == nil {
+		return
+	}
+	sL := metrics.L("strategy", m.strategy)
+	var fastest cpu.Kind
+	if ranked := perf.Kinds(res.Workload); len(ranked) > 0 {
+		fastest = ranked[0]
+	}
+	var fast, slow uint64
+	for kind, n := range res.PerCPU {
+		m.reg.Counter("sky_router_completions_total",
+			"completed invocations, by strategy and the CPU they ran on",
+			sL, metrics.L("cpu", kind.String())).Add(uint64(n))
+		if kind == fastest {
+			fast += uint64(n)
+		} else {
+			slow += uint64(n)
+		}
+	}
+	if fastest != 0 {
+		m.reg.Counter("sky_router_fast_cpu_hits_total",
+			"completions that landed on the workload's fastest known CPU", sL).Add(fast)
+		m.reg.Counter("sky_router_slow_cpu_hits_total",
+			"completions that landed on any slower CPU", sL).Add(slow)
+	}
+	m.elapsedMS.Observe(float64(elapsed) / float64(time.Millisecond))
+}

@@ -1,0 +1,129 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/metrics"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// metricValue digs one series' value out of a snapshot; -1 means absent.
+func metricValue(snap metrics.Snapshot, name string, labels ...metrics.Label) float64 {
+	for _, fam := range snap.Metrics {
+		if fam.Name != name {
+			continue
+		}
+	series:
+		for _, s := range fam.Series {
+			for _, want := range labels {
+				found := false
+				for _, l := range s.Labels {
+					if l == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue series
+				}
+			}
+			return s.Value
+		}
+	}
+	return -1
+}
+
+func TestBurstReportsMetrics(t *testing.T) {
+	env, cloud, r := world(t)
+	reg := metrics.NewRegistry()
+	r.UseMetrics(reg)
+	seedStore(cloud, r, "slow-az", "fast-az")
+	// Teach the model so hybrid hops to fast-az and bans the slow kinds.
+	for i := 0; i < 30; i++ {
+		r.Perf().Observe(workload.Zipper, cpu.Xeon30, 900)
+		r.Perf().Observe(workload.Zipper, cpu.Xeon25, 1200)
+		r.Perf().Observe(workload.Zipper, cpu.EPYC, 1600)
+	}
+	env.Go("client", func(p *sim.Proc) error {
+		res, err := r.Burst(p, BurstSpec{
+			Strategy:   Hybrid{},
+			Workload:   workload.Zipper,
+			N:          60,
+			Candidates: []string{"slow-az", "fast-az"},
+		})
+		if err != nil {
+			return err
+		}
+		if res.AZ != "fast-az" {
+			t.Errorf("hybrid picked %s", res.AZ)
+		}
+		snap := reg.Snapshot()
+		sL := metrics.L("strategy", "hybrid")
+		if got := metricValue(snap, "sky_router_bursts_total", sL); got != 1 {
+			t.Errorf("bursts = %v, want 1", got)
+		}
+		// slow-az is the home (first) candidate, so this was a region hop.
+		if got := metricValue(snap, "sky_router_region_hops_total", sL); got != 1 {
+			t.Errorf("region hops = %v, want 1", got)
+		}
+		if got := metricValue(snap, "sky_router_retries_total", sL); got != float64(res.Declined) {
+			t.Errorf("retries metric = %v, result declined = %d", got, res.Declined)
+		}
+		// Per-CPU completions sum to the burst's completions.
+		var completions float64
+		for _, fam := range snap.Metrics {
+			if fam.Name == "sky_router_completions_total" {
+				for _, s := range fam.Series {
+					completions += s.Value
+				}
+			}
+		}
+		if completions != float64(res.Completed) {
+			t.Errorf("completions metric = %v, result = %d", completions, res.Completed)
+		}
+		fast := metricValue(snap, "sky_router_fast_cpu_hits_total", sL)
+		slow := metricValue(snap, "sky_router_slow_cpu_hits_total", sL)
+		if fast+slow != float64(res.Completed) || fast <= 0 {
+			t.Errorf("fast/slow split = %v/%v over %d completions", fast, slow, res.Completed)
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The burst landed in the elapsed histogram and renders as Prometheus
+	// text exposition.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `sky_router_burst_elapsed_ms_count{strategy="hybrid"} 1`) {
+		t.Fatalf("exposition missing elapsed histogram:\n%s", b.String())
+	}
+}
+
+func TestBurstWithoutMetricsStillWorks(t *testing.T) {
+	env, cloud, r := world(t)
+	seedStore(cloud, r, "slow-az")
+	env.Go("client", func(p *sim.Proc) error {
+		res, err := r.Burst(p, BurstSpec{
+			Strategy:   Baseline{AZ: "slow-az"},
+			Workload:   workload.Zipper,
+			N:          20,
+			Candidates: []string{"slow-az"},
+		})
+		if err != nil {
+			return err
+		}
+		if res.Completed != 20 {
+			t.Errorf("completed = %d", res.Completed)
+		}
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"skyfaas/internal/cpu"
 	"skyfaas/internal/faas"
 	"skyfaas/internal/mesh"
+	"skyfaas/internal/metrics"
 	"skyfaas/internal/sim"
 	"skyfaas/internal/workload"
 )
@@ -24,6 +25,7 @@ type Router struct {
 	store   *charact.Store
 	perf    *PerfModel
 	passive *charact.Passive
+	metrics *metrics.Registry
 }
 
 // New assembles a router.
@@ -164,6 +166,8 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 		return BurstResult{}, fmt.Errorf("router: no mesh endpoint in %s", az)
 	}
 	banned := spec.Strategy.Ban(dec, az)
+	bm := r.burstMetrics(spec.Strategy.Name())
+	bm.recordDecision(az, spec.Candidates)
 
 	res := BurstResult{
 		Strategy: spec.Strategy.Name(),
@@ -212,6 +216,7 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 			r.observePassive(az, resp)
 			if !resp.OK() {
 				res.Failed++
+				bm.failures.Inc()
 				queued++
 				env.Schedule(50*time.Millisecond, pump)
 				return
@@ -219,12 +224,14 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 			outcome, ok := resp.Value.(cloudsim.ProbeOutcome)
 			if !ok {
 				res.Failed++
+				bm.failures.Inc()
 				queued++
 				env.Schedule(50*time.Millisecond, pump)
 				return
 			}
 			if !outcome.Ran {
 				res.Declined++
+				bm.retries.Inc()
 				queued++
 				pump() // reissue while the declining FI is held
 				return
@@ -246,6 +253,7 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	pump()
 	p.Wait(done)
 	res.Elapsed = env.Now().Sub(start)
+	bm.recordResult(res, r.perf, res.Elapsed)
 	return res, nil
 }
 

@@ -16,14 +16,62 @@ import (
 // endpoints marshal their answers from within a command.
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/zones", s.handleZones)
-	s.mux.HandleFunc("GET /v1/characterizations", s.handleCharacterizations)
-	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
-	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
-	s.mux.HandleFunc("GET /v1/perf", s.handlePerf)
-	s.mux.HandleFunc("POST /v1/burst", s.handleBurst)
-	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	s.handle("GET /v1/zones", "/v1/zones", s.handleZones)
+	s.handle("GET /v1/characterizations", "/v1/characterizations", s.handleCharacterizations)
+	s.handle("POST /v1/characterize", "/v1/characterize", s.handleCharacterize)
+	s.handle("POST /v1/profile", "/v1/profile", s.handleProfile)
+	s.handle("GET /v1/perf", "/v1/perf", s.handlePerf)
+	s.handle("POST /v1/burst", "/v1/burst", s.handleBurst)
+	s.handle("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
+	// Observability endpoints are deliberately uninstrumented: scrapes must
+	// stay readable without perturbing the numbers they report.
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+}
+
+// handleHealth reports whether the simulation goroutine is still pumping
+// commands: it round-trips a no-op through the command queue, so a closed
+// server or a stalled pump answers non-200.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var now time.Time
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- s.Exec(func(p *sim.Proc) error {
+			now = p.Env().Now()
+			return nil
+		})
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "down", "error": err.Error(),
+			})
+			return
+		}
+	case <-time.After(s.healthTimeout):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "down", "error": "simulation pump stalled",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"virtualTime":   now,
+		"cmdQueueDepth": int(s.queueDepth.Value()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.WriteJSON(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

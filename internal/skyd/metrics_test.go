@@ -1,0 +1,169 @@
+package skyd
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/metrics"
+	"skyfaas/internal/sampler"
+)
+
+// newMetricsServer is newTestServer with an isolated registry, so
+// assertions cannot see series written by other tests sharing the
+// process-default registry.
+func newMetricsServer(t *testing.T) (*Server, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	rt, err := core.New(core.Config{
+		Seed:    9,
+		Metrics: reg,
+		Catalog: []cloudsim.RegionSpec{{
+			Provider: cloudsim.AWS, Name: "t1", Loc: geo.Coord{Lat: 40, Lon: -80},
+			AZs: []cloudsim.AZSpec{
+				{Name: "t1-slow", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon25: 0.5, cpu.EPYC: 0.5}},
+				{Name: "t1-fast", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon30: 0.6, cpu.Xeon25: 0.4}},
+			},
+		}},
+		SamplerCfg: sampler.Config{
+			Endpoints: 30, PollSize: 84, Branch: 4,
+			Sleep: 100 * time.Millisecond, InterPollPause: 500 * time.Millisecond,
+		},
+		SkipMesh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Runtime: rt, Speedup: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, reg
+}
+
+// TestMetricsExposition drives traffic through all three instrumented
+// layers and checks one scrape sees a router counter, a cloudsim counter,
+// and a skyd latency histogram — the PR's acceptance criterion.
+func TestMetricsExposition(t *testing.T) {
+	s, _ := newMetricsServer(t)
+	for _, az := range []string{"t1-slow", "t1-fast"} {
+		if res, body := do(t, s, "POST", "/v1/characterize", map[string]any{"az": az, "polls": 3}); res.StatusCode != http.StatusOK {
+			t.Fatalf("characterize %s: %d %s", az, res.StatusCode, body)
+		}
+	}
+	if res, body := do(t, s, "POST", "/v1/profile", map[string]any{
+		"workload": "math_service", "zones": []string{"t1-slow", "t1-fast"}, "runs": 200,
+	}); res.StatusCode != http.StatusOK {
+		t.Fatalf("profile: %d %s", res.StatusCode, body)
+	}
+	if res, body := do(t, s, "POST", "/v1/burst", map[string]any{
+		"strategy": "hybrid", "workload": "math_service", "n": 50,
+		"candidates": []string{"t1-slow", "t1-fast"},
+	}); res.StatusCode != http.StatusOK {
+		t.Fatalf("burst: %d %s", res.StatusCode, body)
+	}
+
+	res, body := do(t, s, "GET", "/metrics", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`sky_router_bursts_total{strategy="hybrid"} 1`,
+		`sky_cloudsim_invocations_total{az="`,
+		`sky_skyd_http_request_ms_bucket{path="/v1/burst",le="+Inf"} 1`,
+		`sky_skyd_http_requests_total{code="200",path="/v1/burst"} 1`,
+		"# TYPE sky_cloudsim_billed_ms histogram",
+		"# TYPE sky_skyd_cmd_queue_depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", out)
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	s, _ := newMetricsServer(t)
+	if res, _ := do(t, s, "GET", "/v1/zones", nil); res.StatusCode != http.StatusOK {
+		t.Fatal("zones request failed")
+	}
+	res, body := do(t, s, "GET", "/metrics.json", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", res.StatusCode)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	found := false
+	for _, fam := range snap.Metrics {
+		if fam.Name == "sky_skyd_http_requests_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missing request counter: %s", body)
+	}
+}
+
+// TestHealthzLifecycle is the PR's health acceptance criterion: 200 while
+// the pump is live, non-200 after Close.
+func TestHealthzLifecycle(t *testing.T) {
+	s, _ := newMetricsServer(t)
+	res, body := do(t, s, "GET", "/healthz", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("live /healthz = %d: %s", res.StatusCode, body)
+	}
+	var health struct {
+		Status      string    `json:"status"`
+		VirtualTime time.Time `json:"virtualTime"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.VirtualTime.IsZero() {
+		t.Fatalf("health = %s", body)
+	}
+
+	s.Close()
+	res, body = do(t, s, "GET", "/healthz", nil)
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed /healthz = %d: %s", res.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "down" {
+		t.Fatalf("closed health = %s", body)
+	}
+}
+
+// TestQueueDepthGaugeSettles checks the enqueue/dequeue accounting returns
+// to zero once in-flight commands drain.
+func TestQueueDepthGaugeSettles(t *testing.T) {
+	s, reg := newMetricsServer(t)
+	for i := 0; i < 5; i++ {
+		if res, _ := do(t, s, "GET", "/v1/healthz", nil); res.StatusCode != http.StatusOK {
+			t.Fatal("healthz failed")
+		}
+	}
+	depth := reg.Gauge("sky_skyd_cmd_queue_depth", "").Value()
+	if depth != 0 {
+		t.Fatalf("queue depth after quiescence = %v, want 0", depth)
+	}
+}

@@ -16,10 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"skyfaas/internal/core"
+	"skyfaas/internal/metrics"
 	"skyfaas/internal/sim"
 )
 
@@ -36,13 +38,23 @@ type Config struct {
 	// PumpEvery is the virtual-time granularity of command injection
 	// (default 100ms virtual; at the default speedup, 0.1ms wall).
 	PumpEvery time.Duration
+	// Metrics is the registry /metrics serves and HTTP instrumentation
+	// reports into (default: the runtime's registry, so one scrape covers
+	// the HTTP layer, the router, and the simulated cloud).
+	Metrics *metrics.Registry
+	// HealthTimeout bounds how long /healthz waits for the simulation
+	// goroutine to answer before reporting the pump stalled (default 5s).
+	HealthTimeout time.Duration
 }
 
 // Server bridges HTTP onto a paced simulation.
 type Server struct {
-	rt        *core.Runtime
-	speedup   float64
-	pumpEvery time.Duration
+	rt            *core.Runtime
+	speedup       float64
+	pumpEvery     time.Duration
+	metrics       *metrics.Registry
+	queueDepth    *metrics.Gauge
+	healthTimeout time.Duration
 
 	mux  *http.ServeMux
 	cmds chan func(p *sim.Proc)
@@ -65,15 +77,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PumpEvery == 0 {
 		cfg.PumpEvery = 100 * time.Millisecond
 	}
-	s := &Server{
-		rt:        cfg.Runtime,
-		speedup:   cfg.Speedup,
-		pumpEvery: cfg.PumpEvery,
-		mux:       http.NewServeMux(),
-		cmds:      make(chan func(p *sim.Proc), 64),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Runtime.Metrics()
 	}
+	if cfg.HealthTimeout == 0 {
+		cfg.HealthTimeout = 5 * time.Second
+	}
+	s := &Server{
+		rt:            cfg.Runtime,
+		speedup:       cfg.Speedup,
+		pumpEvery:     cfg.PumpEvery,
+		metrics:       cfg.Metrics,
+		healthTimeout: cfg.HealthTimeout,
+		mux:           http.NewServeMux(),
+		cmds:          make(chan func(p *sim.Proc), 64),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	s.queueDepth = s.metrics.Gauge("sky_skyd_cmd_queue_depth",
+		"commands enqueued for the simulation goroutine but not yet started")
 	s.routes()
 	go s.loop()
 	return s, nil
@@ -95,6 +117,7 @@ func (s *Server) loop() {
 		for {
 			select {
 			case fn := <-s.cmds:
+				s.queueDepth.Dec()
 				fn2 := fn
 				env.Go("skyd-cmd", func(p *sim.Proc) error {
 					fn2(p)
@@ -122,11 +145,15 @@ func (s *Server) Exec(fn func(p *sim.Proc) error) error {
 	}
 	s.mu.Unlock()
 	reply := make(chan error, 1)
+	// Inc before the send so the pump's matching Dec can never land first
+	// and leave the gauge transiently negative.
+	s.queueDepth.Inc()
 	select {
 	case s.cmds <- func(p *sim.Proc) {
 		reply <- fn(p)
 	}:
 	case <-s.done:
+		s.queueDepth.Dec()
 		return ErrClosed
 	}
 	select {
@@ -162,6 +189,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // ---------------------------------------------------------------------------
 // HTTP plumbing
+
+// httpBuckets extends the default layout downward: handlers answering from
+// warm state finish in well under a millisecond of wall time.
+var httpBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers a handler with per-endpoint instrumentation: a request
+// counter labeled by path and status code, and a wall-time latency
+// histogram labeled by path.
+func (s *Server) handle(pattern, path string, h http.HandlerFunc) {
+	hist := s.metrics.Histogram("sky_skyd_http_request_ms",
+		"wall-time handler latency (milliseconds)", httpBuckets, metrics.L("path", path))
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		s.metrics.Counter("sky_skyd_http_requests_total",
+			"requests served, by endpoint and status code",
+			metrics.L("path", path), metrics.L("code", strconv.Itoa(sw.code))).Inc()
+	})
+}
 
 type apiError struct {
 	Error string `json:"error"`
