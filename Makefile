@@ -5,19 +5,24 @@ GO ?= go
 # Concurrency-sensitive packages that must stay race-clean. `make ci` and
 # .github/workflows/ci.yml both run exactly these targets — keep them in
 # sync so local runs and CI can't drift.
-RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/
+RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/
 
-.PHONY: all build vet fmt-check test race ci bench reproduce serve clean
+.PHONY: all build vet fmt-check lint test race ci bench reproduce serve clean
 
-all: build vet test
+all: build vet lint test
 
-ci: build vet fmt-check test race
+ci: build vet fmt-check lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (determinism & concurrency invariants);
+# see internal/lint and the README "Static analysis" section.
+lint:
+	$(GO) run ./cmd/skylint ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -1,0 +1,145 @@
+// Skylint runs the project's static-analysis pass (internal/lint) over the
+// enclosing module and reports invariant violations as
+// "file:line: [rule] message", exiting non-zero when any are found.
+//
+// Usage:
+//
+//	skylint [-rules rule1,rule2] [-list] [./... ./internal/...]
+//
+// Patterns restrict which findings are reported (the whole module is always
+// loaded, since analyses need cross-package type information). With no
+// pattern, everything is reported. Individual call sites are exempted with
+// a "//lint:allow <rule> -- reason" comment; see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"skyfaas/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("skylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		var err error
+		analyzers, err = selectRules(analyzers, *rules)
+		if err != nil {
+			fmt.Fprintf(stderr, "skylint: %v\n", err)
+			return 2
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "skylint: %v\n", err)
+		return 2
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(stderr, "skylint: %v\n", err)
+		return 2
+	}
+	mod, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "skylint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.Run(mod, analyzers)
+	n := 0
+	for _, f := range findings {
+		if !matchAny(f.File, fs.Args()) {
+			continue
+		}
+		fmt.Fprintln(stdout, f)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "skylint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// selectRules filters analyzers down to a comma-separated name list.
+func selectRules(all []*lint.Analyzer, names string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from dir to the nearest directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// matchAny reports whether a module-relative file path falls under any of
+// the go-style package patterns (no patterns means match everything).
+func matchAny(relFile string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if matchPattern(relFile, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPattern implements the useful subset of go package patterns against
+// a module-relative file path: "./..." (everything), "./dir/..." (subtree),
+// and "./dir" (exactly that package directory).
+func matchPattern(relFile, pat string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "..." || pat == "" || pat == "." {
+		return true
+	}
+	dir := filepath.ToSlash(filepath.Dir(relFile))
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return dir == sub || strings.HasPrefix(dir, sub+"/")
+	}
+	return dir == strings.TrimSuffix(pat, "/")
+}

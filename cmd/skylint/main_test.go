@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		file, pat string
+		want      bool
+	}{
+		{"internal/sim/sim.go", "./...", true},
+		{"internal/sim/sim.go", "./internal/...", true},
+		{"internal/sim/sim.go", "./internal/sim", true},
+		{"internal/sim/sim.go", "internal/sim", true},
+		{"internal/sim/sim.go", "./internal/router", false},
+		{"internal/router/metrics.go", "./internal/router/...", true},
+		{"internal/router/metrics.go", "./internal/rou/...", false},
+		{"sky.go", "./...", true},
+		{"sky.go", ".", true},
+		{"sky.go", "./internal/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.file, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.file, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nested := filepath.Join(root, "a", "b")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	got, err := findModuleRoot(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != root {
+		t.Errorf("findModuleRoot = %q, want %q", got, root)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, rule := range []string{"ctxgo", "floatdet", "mutexheld", "nilmetrics", "nodeterm", "sentinelerr"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestRunUnknownRule(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-rules", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("run(-rules nope) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown rule") {
+		t.Errorf("stderr missing diagnosis: %s", errOut.String())
+	}
+}
+
+// TestRunCleanRepo runs the real binary path over the enclosing module —
+// the exact invocation `make lint` performs — and expects a clean exit.
+func TestRunCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow; run without -short")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Errorf("run(./...) = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}

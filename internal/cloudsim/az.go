@@ -206,10 +206,10 @@ func (az *AZ) drawKind(mix map[cpu.Kind]float64) cpu.Kind {
 // deploy registers a function in this zone.
 func (az *AZ) deploy(name string, cfg DeployConfig) (*Deployment, error) {
 	if _, exists := az.deployments[name]; exists {
-		return nil, fmt.Errorf("cloudsim: deployment %q already exists in %s", name, az.spec.Name)
+		return nil, fmt.Errorf("%w: %q in %s", ErrDeploymentExists, name, az.spec.Name)
 	}
 	if cfg.MemoryMB <= 0 {
-		return nil, fmt.Errorf("cloudsim: deployment %q: non-positive memory", name)
+		return nil, fmt.Errorf("%w: deployment %q: non-positive memory", ErrBadRequest, name)
 	}
 	arch := cfg.Arch
 	if arch == 0 {

@@ -3,6 +3,7 @@ package cloudsim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -42,8 +43,10 @@ func (p PriceModel) Cost(memoryMB int, runtimeMS float64) float64 {
 // phase, policy name, account). Meters are safe for concurrent use so the
 // live-paced examples can share one across goroutines.
 type Meter struct {
-	mu       sync.Mutex
-	byLabel  map[string]float64
+	mu sync.Mutex
+	// byLabel is cumulative spend per label; guarded by mu.
+	byLabel map[string]float64
+	// requests counts charges per label; guarded by mu.
 	requests map[string]int
 }
 
@@ -77,13 +80,20 @@ func (m *Meter) Requests(label string) int {
 	return m.requests[label]
 }
 
-// GrandTotal returns spend across every label.
+// GrandTotal returns spend across every label. Summation follows sorted
+// label order so the result is bit-identical across runs regardless of map
+// iteration order.
 func (m *Meter) GrandTotal() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	labels := make([]string, 0, len(m.byLabel))
+	for label := range m.byLabel {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	var sum float64
-	for _, v := range m.byLabel {
-		sum += v
+	for _, label := range labels {
+		sum += m.byLabel[label]
 	}
 	return sum
 }

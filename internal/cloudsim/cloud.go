@@ -285,7 +285,7 @@ type DeployConfig struct {
 func (c *Cloud) Deploy(azName, fnName string, cfg DeployConfig) (*Deployment, error) {
 	az, ok := c.azBy[azName]
 	if !ok {
-		return nil, fmt.Errorf("cloudsim: unknown AZ %q", azName)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchAZ, azName)
 	}
 	return az.deploy(fnName, cfg)
 }

@@ -18,6 +18,14 @@ var (
 	// ErrNoSuchDeployment is returned for invocations of unknown endpoints.
 	ErrNoSuchDeployment = errors.New("cloudsim: no such deployment")
 
+	// ErrNoSuchAZ is returned for operations addressed to an availability
+	// zone absent from the catalog.
+	ErrNoSuchAZ = errors.New("cloudsim: no such availability zone")
+
+	// ErrDeploymentExists is returned when deploying a function name already
+	// taken in the target zone.
+	ErrDeploymentExists = errors.New("cloudsim: deployment already exists")
+
 	// ErrBadRequest is returned for malformed invocations (e.g. dynamic
 	// work sent to a non-dynamic deployment).
 	ErrBadRequest = errors.New("cloudsim: bad request")

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatdetScope: packages whose float aggregates feed the paper's tables.
+// Go randomizes map iteration order per process, and float addition is not
+// associative, so accumulating over a map range perturbs low-order bits
+// between otherwise identical runs.
+var floatdetScope = []string{
+	"internal/stats",
+	"internal/cloudsim",
+}
+
+var floatdetAnalyzer = &Analyzer{
+	Name: "floatdet",
+	Doc:  "no float accumulation over map iteration order; sort the keys first",
+	Run:  runFloatdet,
+}
+
+func runFloatdet(p *Pass) {
+	if !pkgInScope(p.Pkg.Path, floatdetScope) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			iterObjs := rangeVarObjects(p, rng)
+			ast.Inspect(rng.Body, func(inner ast.Node) bool {
+				a, ok := inner.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				switch a.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				default:
+					return true
+				}
+				for _, lhs := range a.Lhs {
+					if !isFloat(p.Pkg.Info.Types[lhs].Type) {
+						continue
+					}
+					// Per-element updates (LHS indexed by the iteration
+					// variables) are order-independent; only accumulators
+					// that outlive the loop are flagged.
+					if exprUsesObjects(p, lhs, iterObjs) {
+						continue
+					}
+					p.Reportf(a.Pos(),
+						"float accumulation across map iteration order is nondeterministic; collect the keys, sort them, then sum in key order")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// rangeVarObjects returns the types.Objects of the range statement's key
+// and value variables.
+func rangeVarObjects(p *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, expr := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := expr.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			objs[obj] = true
+		}
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// exprUsesObjects reports whether any identifier in expr resolves to one of
+// the given objects.
+func exprUsesObjects(p *Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

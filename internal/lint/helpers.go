@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// importedPkg resolves x to the import path of the package it qualifies
+// (e.g. the "time" in time.Now), or ok=false when x is not a package name.
+func importedPkg(info *types.Info, x ast.Expr) (string, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// namedType unwraps pointers and returns the named type of t, if any.
+func namedType(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nilmetricsPkgSuffix identifies the instrumentation package whose handle
+// types (*Counter, *Gauge, *Histogram) promise nil-safety: a nil Registry
+// hands out nil handles and every method on them must stay a no-op.
+const nilmetricsPkgSuffix = "internal/metrics"
+
+// nilmetricsHandles are the nil-safe handle types.
+var nilmetricsHandles = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+var nilmetricsAnalyzer = &Analyzer{
+	Name: "nilmetrics",
+	Doc:  "metrics handles outside internal/metrics must tolerate a nil registry: no direct construction or deref",
+	Run:  runNilmetrics,
+}
+
+func runNilmetrics(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, nilmetricsPkgSuffix) {
+		return // the package itself manages handle internals
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if t, ok := metricsHandle(p.Pkg.Info.Types[n].Type); ok {
+					p.Reportf(n.Pos(),
+						"metrics.%s composite literal bypasses the registry; obtain handles from a Registry (nil registries hand out nil-safe no-op handles)", t)
+				}
+			case *ast.StarExpr:
+				tv, ok := p.Pkg.Info.Types[n]
+				if !ok || !tv.IsValue() {
+					return true // type position, e.g. *metrics.Counter in a signature
+				}
+				opnd := p.Pkg.Info.Types[n.X].Type
+				ptr, ok := opnd.(*types.Pointer)
+				if !ok {
+					return true
+				}
+				if t, ok := metricsHandle(ptr.Elem()); ok {
+					p.Reportf(n.Pos(),
+						"dereferencing a *metrics.%s handle panics when the registry is nil; call its nil-safe methods instead", t)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// metricsHandle reports whether t is one of the nil-safe metrics handle
+// types, returning its name.
+func metricsHandle(t types.Type) (string, bool) {
+	named, ok := namedType(t)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), nilmetricsPkgSuffix) {
+		return "", false
+	}
+	if !nilmetricsHandles[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}

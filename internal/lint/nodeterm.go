@@ -1,0 +1,64 @@
+package lint
+
+import "go/ast"
+
+// nodetermScope lists the packages whose runs must be pure functions of the
+// model and its RNG seeds: virtual time comes from sim.Env and randomness
+// from seeded internal/rng streams, never from the process environment.
+var nodetermScope = []string{
+	"internal/sim",
+	"internal/cloudsim",
+	"internal/router",
+	"internal/experiments",
+}
+
+// nodetermTimeFuncs are the wall-clock entry points of package time that
+// leak host scheduling into a simulation run.
+var nodetermTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+var nodetermAnalyzer = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock time and global math/rand in deterministic simulation packages",
+	Run:  runNodeterm,
+}
+
+func runNodeterm(p *Pass) {
+	if !pkgInScope(p.Pkg.Path, nodetermScope) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := importedPkg(p.Pkg.Info, sel.X)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if nodetermTimeFuncs[sel.Sel.Name] {
+					p.Reportf(sel.Pos(),
+						"time.%s reads the wall clock and breaks replayability; use the sim.Env virtual clock (Env.Now, Proc.Sleep, Env.Schedule)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(),
+					"rand.%s draws from global, schedule-dependent state; use a seeded internal/rng stream",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// sentinelerrScope: the simulated cloud's error taxonomy lives in
+// cloudsim/errors.go so samplers, routers, and tests can branch on causes
+// with errors.Is. Ad-hoc leaf errors silently escape that taxonomy.
+var sentinelerrScope = []string{"internal/cloudsim"}
+
+// sentinelerrHome is the one file allowed to declare sentinel values.
+const sentinelerrHome = "errors.go"
+
+var sentinelerrAnalyzer = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "cloudsim errors must be errors.go sentinels or wrap one with %w",
+	Run:  runSentinelerr,
+}
+
+func runSentinelerr(p *Pass) {
+	if !pkgInScope(p.Pkg.Path, sentinelerrScope) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		name := filepath.Base(p.Mod.Fset.Position(f.Pos()).Filename)
+		if name == sentinelerrHome {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := importedPkg(p.Pkg.Info, sel.X)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "errors" && sel.Sel.Name == "New":
+				p.Reportf(call.Pos(),
+					"ad-hoc errors.New in cloudsim; declare the sentinel in %s so callers can errors.Is on it", sentinelerrHome)
+			case pkgPath == "fmt" && sel.Sel.Name == "Errorf" && len(call.Args) > 0:
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
+					p.Reportf(call.Pos(),
+						"fmt.Errorf leaf error in cloudsim; wrap a sentinel from %s with %%w instead", sentinelerrHome)
+				}
+			}
+			return true
+		})
+	}
+}

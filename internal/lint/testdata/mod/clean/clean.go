@@ -1,0 +1,8 @@
+// Package clean is outside every rule's scope and free of violations; the
+// golden test asserts it yields no findings.
+package clean
+
+import "time"
+
+// Stamp may use the wall clock: clean is not a deterministic package.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,3 @@
+module example.com/skylintfix
+
+go 1.22

@@ -1,0 +1,17 @@
+package cloudsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Deploy exercises the sentinelerr rule: leaf errors outside errors.go.
+func Deploy(name string) error {
+	if name == "" {
+		return fmt.Errorf("cloudsim: empty deployment name") //want sentinelerr
+	}
+	if name == "dup" {
+		return errors.New("cloudsim: duplicate deployment") //want sentinelerr
+	}
+	return fmt.Errorf("%w: %s", ErrBoom, name)
+}

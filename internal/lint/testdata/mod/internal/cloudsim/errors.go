@@ -1,0 +1,6 @@
+package cloudsim
+
+import "errors"
+
+// ErrBoom is the sentinel fixture errors must wrap.
+var ErrBoom = errors.New("cloudsim: boom")

@@ -1,0 +1,19 @@
+// Package metrics is a skylint fixture standing in for the real
+// instrumentation package: handles must stay nil-safe outside it.
+package metrics
+
+// Counter is a nil-safe handle.
+type Counter struct{ n uint64 }
+
+// Inc is a no-op on a nil handle.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// New constructs a handle; composite literals are fine inside the package.
+func New() *Counter {
+	return &Counter{}
+}

@@ -1,0 +1,34 @@
+// Package sim is a skylint fixture: the nodeterm rule bans wall-clock and
+// global-RNG calls in this package.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock reads the host clock inside the deterministic kernel.
+func WallClock() time.Time {
+	return time.Now() //want nodeterm
+}
+
+// Pace sleeps on the wall clock but is annotated as intentional.
+func Pace() {
+	time.Sleep(time.Millisecond) //lint:allow nodeterm -- fixture: intentional pacing
+}
+
+// Tick arms a ticker, allowed by a standalone comment on the line above.
+func Tick() *time.Ticker {
+	//lint:allow nodeterm -- fixture: standalone allow
+	return time.NewTicker(time.Second)
+}
+
+// Jitter draws from the process-global RNG.
+func Jitter() float64 {
+	return rand.Float64() //want nodeterm
+}
+
+// Delay arms a wall-clock timer.
+func Delay() <-chan time.Time {
+	return time.After(time.Second) //want nodeterm
+}

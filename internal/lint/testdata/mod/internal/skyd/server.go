@@ -1,0 +1,46 @@
+// Package skyd is a skylint fixture for the ctxgo and nilmetrics rules.
+package skyd
+
+import (
+	"context"
+	"sync"
+
+	"example.com/skylintfix/internal/metrics"
+)
+
+// Fire leaks: no join or cancellation path in scope.
+func Fire() {
+	go func() { //want ctxgo
+		var n int
+		n++
+		_ = n
+	}()
+}
+
+// FireCtx is fine: cancellation is in scope.
+func FireCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// FireJoin is fine: a WaitGroup joins the goroutine.
+func FireJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Handle builds a handle directly, defeating nil-registry no-op mode.
+func Handle() *metrics.Counter {
+	c := metrics.Counter{} //want nilmetrics
+	return &c
+}
+
+// Read dereferences a possibly-nil handle.
+func Read(c *metrics.Counter) metrics.Counter {
+	return *c //want nilmetrics
+}

@@ -1,0 +1,15 @@
+// Package stats is a skylint fixture: slice-order accumulation is the
+// deterministic pattern floatdet accepts.
+package stats
+
+// Mean is order-stable: it sums a slice, not a map.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

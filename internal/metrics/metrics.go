@@ -133,14 +133,15 @@ type family struct {
 	labels  []string  // sorted label keys all series must carry
 	bounds  []float64 // histogram upper bounds (nil otherwise)
 	mu      sync.RWMutex
-	series  map[string]any // series key -> *Counter | *Gauge | *Histogram
-	ordered []string       // series keys in first-seen order
-	byKey   map[string][]Label
+	series  map[string]any     // series key -> *Counter | *Gauge | *Histogram; guarded by mu
+	ordered []string           // series keys in first-seen order; guarded by mu
+	byKey   map[string][]Label // labels per series key; guarded by mu
 }
 
 // Registry holds metric families and hands out their series.
 type Registry struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// families maps family name to its series table; guarded by mu.
 	families map[string]*family
 }
 

@@ -141,7 +141,9 @@ func (e *Env) run(until time.Duration, speedup float64) error {
 		}
 		heap.Pop(&e.queue)
 		if gap := next.at - e.now; gap > 0 && speedup > 0 {
-			time.Sleep(time.Duration(float64(gap) / speedup))
+			// RunPaced exists to map virtual gaps onto the wall clock for
+			// live demos; determinism of the event order is unaffected.
+			time.Sleep(time.Duration(float64(gap) / speedup)) //lint:allow nodeterm -- intentional wall-clock pacing
 		}
 		e.now = next.at
 		next.fn()

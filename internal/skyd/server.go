@@ -59,7 +59,8 @@ type Server struct {
 	mux  *http.ServeMux
 	cmds chan func(p *sim.Proc)
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// closed records that Close began; guarded by mu.
 	closed bool
 	stop   chan struct{}
 	done   chan struct{}
