@@ -18,6 +18,7 @@ import (
 
 	"skyfaas/internal/experiments"
 	"skyfaas/internal/metrics"
+	"skyfaas/internal/router"
 	"skyfaas/internal/tablefmt"
 	"skyfaas/internal/workload"
 )
@@ -32,7 +33,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("skybench", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	exFlag := fs.String("ex", "all", "experiments to run: all | table1,ex1,ex2,ex3,ex4,ex5")
+	exFlag := fs.String("ex", "all", "experiments to run: all | table1,ex1,ex2,ex3,ex4,ex5,ex6")
+	ex6Strategies := fs.String("ex6-strategies", "", "extra EX-6 arms: comma-separated strategy names (see router.Names), run with default resilience")
 	seed := fs.Uint64("seed", 42, "simulation seed (equal seeds replay exactly)")
 	scale := fs.String("scale", "full", "full | reduced")
 	profileRuns := fs.Int("profile-runs", 0, "EX-5 profiling executions per workload per zone (0 = default)")
@@ -167,6 +169,43 @@ func run(args []string) error {
 			cfg = cfg.Reduced()
 		}
 		res, err := experiments.RunEX5(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := res.WriteCSV(*csvDir); err != nil {
+				return "", err
+			}
+		}
+		return res.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runOne("ex6", func() (string, error) {
+		cfg := experiments.EX6Config{Seed: *seed}
+		if reduced {
+			cfg = cfg.Reduced()
+		}
+		if *ex6Strategies != "" {
+			cfg.Arms = experiments.DefaultEX6Arms()
+			for _, name := range strings.Split(*ex6Strategies, ",") {
+				name = strings.TrimSpace(name)
+				// Validate up front so a typo fails with the registry's
+				// name listing instead of mid-experiment; the placeholder
+				// AZ satisfies pinned strategies and is re-resolved to the
+				// chaos target inside each cell.
+				if _, err := router.Build(router.StrategySpec{Name: name, AZ: "us-west-1b"}); err != nil {
+					return "", err
+				}
+				cfg.Arms = append(cfg.Arms, experiments.EX6Arm{
+					Label:      name,
+					Strategy:   router.StrategySpec{Name: name},
+					Resilience: router.DefaultResilience(),
+				})
+			}
+		}
+		res, err := experiments.RunEX6(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -96,22 +96,32 @@ func run(args []string) error {
 			return err
 		}
 
-		strategies := []router.Strategy{
-			router.Baseline{AZ: fixed},
-			router.Regional{},
-			router.RetrySlow{AZ: fixed},
-			router.FocusFastest{AZ: fixed},
-			router.Hybrid{},
+		specs := []router.StrategySpec{
+			{Name: "baseline", AZ: fixed},
+			{Name: "regional"},
+			{Name: "retry-slow", AZ: fixed},
+			{Name: "focus-fastest", AZ: fixed},
+			{Name: "hybrid"},
 		}
 		if *client != "" {
-			strategies = append(strategies,
-				router.LatencyBound{
-					Client:  clientLoc,
-					MaxRTT:  *maxRTT,
-					Locator: router.NewZoneLocator(rt.Cloud()),
-				},
-				router.CostAware{Pricer: router.NewZonePricer(rt.Cloud())},
+			specs = append(specs,
+				router.StrategySpec{Name: "latency-bound", Params: map[string]float64{
+					"maxRTTMS":  float64(*maxRTT) / float64(time.Millisecond),
+					"clientLat": clientLoc.Lat,
+					"clientLon": clientLoc.Lon,
+				}},
+				router.StrategySpec{Name: "cost-aware"},
 			)
+		}
+		strategies := make([]router.Strategy, 0, len(specs))
+		for _, sp := range specs {
+			s, err := router.Build(sp,
+				router.WithLocator(router.NewZoneLocator(rt.Cloud())),
+				router.WithPricer(router.NewZonePricer(rt.Cloud())))
+			if err != nil {
+				return err
+			}
+			strategies = append(strategies, s)
 		}
 		t := tablefmt.New("strategy", "zone", "cost", "vs baseline", "meanMS", "retried", "elapsed")
 		var baseCost float64

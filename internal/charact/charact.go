@@ -213,10 +213,24 @@ func (s *Store) Get(az string, now time.Time) (Characterization, bool) {
 	if !ok {
 		return Characterization{}, false
 	}
-	if s.ttl > 0 && ch.Age(now) > s.ttl {
+	if !s.Fresh(ch, now) {
 		return Characterization{}, false
 	}
 	return ch, true
+}
+
+// Last returns the zone's most recent characterization regardless of
+// freshness. Callers that prefer degrading on stale data over flying blind
+// (see router.Decision.Lookup) pair it with Fresh to decide how much to
+// trust it.
+func (s *Store) Last(az string) (Characterization, bool) {
+	ch, ok := s.by[az]
+	return ch, ok
+}
+
+// Fresh reports whether ch is still within the store's lifespan at now.
+func (s *Store) Fresh(ch Characterization, now time.Time) bool {
+	return s.ttl <= 0 || ch.Age(now) <= s.ttl
 }
 
 // Zones lists zones with stored characterizations (fresh or not), sorted.

@@ -100,6 +100,7 @@ type AZ struct {
 	hostSeq     int
 	fiSeq       int
 	scaleUpUsed bool
+	fault       faultState
 	m           azMetrics
 }
 

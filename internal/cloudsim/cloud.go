@@ -366,14 +366,15 @@ func (c *Cloud) StartInvoke(req Request, done func(Response)) {
 }
 
 func (c *Cloud) oneWayLatency(req Request) time.Duration {
-	if req.ClientLoc == nil {
-		return c.opts.IntraCloudRTT / 2
-	}
 	az, ok := c.azBy[req.AZ]
 	if !ok {
 		return c.opts.IntraCloudRTT / 2
 	}
-	return c.opts.Latency.RTT(*req.ClientLoc, az.region.spec.Loc, c.latRand) / 2
+	extra := az.fault.extraRTT / 2
+	if req.ClientLoc == nil {
+		return c.opts.IntraCloudRTT/2 + extra
+	}
+	return c.opts.Latency.RTT(*req.ClientLoc, az.region.spec.Loc, c.latRand)/2 + extra
 }
 
 func (c *Cloud) respond(cl call, oneWay time.Duration, resp Response) {
@@ -391,6 +392,10 @@ func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
 		return
 	}
 	az.m.invocations.Inc()
+	if err := az.rejectChaos(); err != nil {
+		c.respond(cl, oneWay, Response{Err: err, Sent: sent})
+		return
+	}
 	dep, ok := az.deployments[req.Function]
 	if !ok {
 		az.m.failBadReq.Inc()
@@ -431,7 +436,7 @@ func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
 
 	initDelay := time.Duration(c.opts.OverheadMS * float64(time.Millisecond) / 2)
 	if cold {
-		ms := az.rand.LogNorm(0, c.opts.ColdStartSigma) * c.opts.ColdStartMS
+		ms := az.rand.LogNorm(0, c.opts.ColdStartSigma) * c.opts.ColdStartMS * az.fault.coldStartFactor()
 		// Init runs on the CPU share the memory setting grants, so
 		// low-memory deployments cold-start slower (this is why Fig. 3's
 		// smaller memory settings need longer sleeps for full coverage).

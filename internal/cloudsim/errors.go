@@ -15,6 +15,11 @@ var (
 	// generic failures just like a real client would.
 	ErrSaturated = errors.New("cloudsim: no capacity to place function instance")
 
+	// ErrZoneOutage is returned while an injected availability-zone outage
+	// is active: the zone rejects every request, like a regional brown-out
+	// or control-plane incident. See internal/chaos.
+	ErrZoneOutage = errors.New("cloudsim: availability zone outage")
+
 	// ErrNoSuchDeployment is returned for invocations of unknown endpoints.
 	ErrNoSuchDeployment = errors.New("cloudsim: no such deployment")
 

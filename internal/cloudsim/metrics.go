@@ -16,6 +16,8 @@ type azMetrics struct {
 	failBadReq    *metrics.Counter
 	failHandler   *metrics.Counter
 	saturation    *metrics.Counter
+	faultOutage   *metrics.Counter
+	faultThrottle *metrics.Counter
 	liveFIs       *metrics.Gauge
 	billedMS      *metrics.Histogram
 }
@@ -37,6 +39,12 @@ func newAZMetrics(r *metrics.Registry, az string) azMetrics {
 		failHandler:   failures("handler"),
 		saturation: r.Counter("sky_cloudsim_saturation_events_total",
 			"placement attempts that found no host capacity", azL),
+		faultOutage: r.Counter("sky_cloudsim_chaos_rejections_total",
+			"requests rejected by an injected fault, by zone and fault type",
+			azL, metrics.L("fault", "outage")),
+		faultThrottle: r.Counter("sky_cloudsim_chaos_rejections_total",
+			"requests rejected by an injected fault, by zone and fault type",
+			azL, metrics.L("fault", "throttle_storm")),
 		liveFIs: r.Gauge("sky_cloudsim_live_fis",
 			"currently provisioned function instances", azL),
 		billedMS: r.Histogram("sky_cloudsim_billed_ms",

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"skyfaas/internal/chaos"
 	"skyfaas/internal/charact"
 	"skyfaas/internal/cloudsim"
 	"skyfaas/internal/cpu"
@@ -84,6 +85,7 @@ type Runtime struct {
 	store   *charact.Store
 	perf    *router.PerfModel
 	router  *router.Router
+	chaos   *chaos.Injector
 	metrics *metrics.Registry
 	sampled map[string]bool // zones with sampling endpoints deployed
 }
@@ -96,7 +98,7 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.CloudOpts.Metrics = cfg.Metrics
 	}
 	cloud := cloudsim.New(env, cfg.Seed, cfg.Catalog, cfg.CloudOpts)
-	var clientOpts []faas.Option
+	clientOpts := []faas.Option{faas.WithSeed(cfg.Seed)}
 	if cfg.ClientLoc != nil {
 		clientOpts = append(clientOpts, faas.WithLocation(*cfg.ClientLoc))
 	}
@@ -128,6 +130,8 @@ func New(cfg Config) (*Runtime, error) {
 	rt.mesh = m
 	rt.router = router.New(client, rt.mesh, rt.store, rt.perf)
 	rt.router.UseMetrics(rt.metrics)
+	rt.router.UseSeed(cfg.Seed)
+	rt.chaos = chaos.NewInjector(cloud, cfg.Metrics)
 	return rt, nil
 }
 
@@ -154,6 +158,9 @@ func (rt *Runtime) Perf() *router.PerfModel { return rt.perf }
 
 // Router returns the smart routing system.
 func (rt *Runtime) Router() *router.Router { return rt.router }
+
+// Chaos returns the fault injector over this runtime's cloud.
+func (rt *Runtime) Chaos() *chaos.Injector { return rt.chaos }
 
 // Metrics returns the instrumentation registry every layer of this runtime
 // reports into.

@@ -12,6 +12,7 @@ import (
 
 	"skyfaas/internal/cloudsim"
 	"skyfaas/internal/geo"
+	"skyfaas/internal/rng"
 	"skyfaas/internal/sim"
 )
 
@@ -21,6 +22,7 @@ type Client struct {
 	cloud   *cloudsim.Cloud
 	account string
 	loc     *geo.Coord
+	rand    *rng.Stream
 }
 
 // Option configures a Client.
@@ -36,9 +38,19 @@ func WithLocation(loc geo.Coord) Option {
 	}
 }
 
+// WithSeed derives the client's private randomness (retry-backoff jitter)
+// from seed instead of the account-name default, letting experiments tie
+// client behavior to their run seed.
+func WithSeed(seed uint64) Option {
+	return func(c *Client) {
+		c.rand = rng.New(seed).Split("faas/" + c.account)
+	}
+}
+
 // NewClient returns a client for account.
 func NewClient(cloud *cloudsim.Cloud, account string, opts ...Option) *Client {
 	c := &Client{cloud: cloud, account: account}
+	c.rand = rng.New(0).Split("faas/" + account)
 	for _, o := range opts {
 		o(c)
 	}
@@ -82,8 +94,11 @@ func (c *Client) request(call Call) cloudsim.Request {
 }
 
 // Invoke performs a blocking invocation from the calling process.
+//
+// Deprecated: use Do with an InvokeSpec; Invoke is Do with a zero envelope
+// (single attempt, no hedge, no deadline).
 func (c *Client) Invoke(p *sim.Proc, call Call) cloudsim.Response {
-	return c.cloud.Invoke(p, c.request(call))
+	return c.Do(p, InvokeSpec{Call: call})
 }
 
 // Future is a pending asynchronous invocation.
@@ -105,6 +120,8 @@ func (f *Future) Wait(p *sim.Proc) cloudsim.Response {
 func (f *Future) Done() bool { return f.ev.Triggered() }
 
 // InvokeAsync starts an invocation and returns a Future.
+//
+// Deprecated: use DoAsync with an InvokeSpec.
 func (c *Client) InvokeAsync(call Call) *Future {
 	ev := sim.NewEvent(c.cloud.Env())
 	c.cloud.StartInvoke(c.request(call), func(r cloudsim.Response) { ev.Trigger(r) })
@@ -119,6 +136,8 @@ func (c *Client) Start(call Call, done func(cloudsim.Response)) {
 
 // InvokeBatch issues n copies of call concurrently and returns all
 // responses in completion-independent order (index i is request i).
+//
+// Deprecated: fan out DoAsync calls with an InvokeSpec instead.
 func (c *Client) InvokeBatch(p *sim.Proc, call Call, n int) []cloudsim.Response {
 	futures := make([]*Future, n)
 	for i := range futures {

@@ -12,6 +12,7 @@ var ctxgoScope = []string{
 	"internal/skyd",
 	"cmd/skyd",
 	"internal/workload",
+	"internal/chaos",
 }
 
 var ctxgoAnalyzer = &Analyzer{

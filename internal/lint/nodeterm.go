@@ -8,6 +8,8 @@ import "go/ast"
 var nodetermScope = []string{
 	"internal/sim",
 	"internal/cloudsim",
+	"internal/chaos",
+	"internal/faas",
 	"internal/router",
 	"internal/experiments",
 }

@@ -1,0 +1,29 @@
+// Package chaos is a skylint fixture: fault injection must be a pure
+// function of sim time and seeded RNG (nodeterm), and must never leak a
+// goroutine past the injector (ctxgo).
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Window schedules a fault window off the wall clock — forbidden: windows
+// must anchor to the sim.Env virtual clock.
+func Window() time.Time {
+	return time.Now().Add(time.Minute) //want nodeterm
+}
+
+// Magnitude draws storm strength from the process-global RNG instead of a
+// seeded, named stream.
+func Magnitude() float64 {
+	return rand.Float64() //want nodeterm
+}
+
+// Arm spawns an unjoined goroutine to flip the fault — forbidden: fault
+// transitions belong on the simulation event queue.
+func Arm(fire func()) {
+	go func() { //want ctxgo
+		fire()
+	}()
+}

@@ -1,0 +1,200 @@
+package router
+
+import (
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The classic three-state circuit.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a per-zone circuit breaker. The zero value selects
+// the defaults noted on each field.
+type BreakerConfig struct {
+	// Window is the sliding error-rate window (default 10 s).
+	Window time.Duration
+	// MinRequests is the minimum sample count inside the window before the
+	// breaker may trip (default 20) — small bursts never trip on noise.
+	MinRequests int
+	// FailureRate is the windowed failure fraction that trips the breaker
+	// (default 0.5).
+	FailureRate float64
+	// OpenFor is how long a tripped breaker rejects traffic before probing
+	// again (default 30 s).
+	OpenFor time.Duration
+	// HalfOpenMax is how many probe requests half-open admits; that many
+	// consecutive successes re-close the circuit, any failure re-opens it
+	// (default 5).
+	HalfOpenMax int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 20
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 30 * time.Second
+	}
+	if c.HalfOpenMax <= 0 {
+		c.HalfOpenMax = 5
+	}
+	return c
+}
+
+type breakerSample struct {
+	at time.Time
+	ok bool
+}
+
+// Breaker is a closed → open → half-open circuit breaker driven entirely by
+// simulated time: every transition hangs off the `now` its caller passes in,
+// so breaker behavior replays bit-identically with the run. It shares the
+// simulation's single-threaded discipline and needs no locking.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	samples  []breakerSample // outcomes inside the sliding window (closed only)
+	openedAt time.Time
+	probes   int // probe requests admitted while half-open
+	probeOKs int // consecutive probe successes while half-open
+	onChange func(from, to BreakerState)
+}
+
+// NewBreaker returns a closed breaker under cfg (zero fields take defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// OnTransition installs a state-change hook (instrumentation).
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) { b.onChange = fn }
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Config returns the effective (defaulted) configuration.
+func (b *Breaker) Config() BreakerConfig { return b.cfg }
+
+func (b *Breaker) transition(now time.Time, to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case BreakerOpen:
+		b.openedAt = now
+		b.samples = b.samples[:0]
+	case BreakerHalfOpen:
+		b.probes, b.probeOKs = 0, 0
+	case BreakerClosed:
+		b.samples = b.samples[:0]
+	}
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// Admits reports whether a request issued at now would be allowed, without
+// consuming half-open probe budget — the side-effect-free form failover uses
+// to filter candidate zones.
+func (b *Breaker) Admits(now time.Time) bool {
+	switch b.state {
+	case BreakerOpen:
+		return now.Sub(b.openedAt) >= b.cfg.OpenFor
+	case BreakerHalfOpen:
+		return b.probes < b.cfg.HalfOpenMax
+	default:
+		return true
+	}
+}
+
+// Allow gates one request at now: closed admits everything, open rejects
+// until OpenFor has elapsed (then flips to half-open), and half-open admits
+// up to HalfOpenMax probes. An admitted request must be answered with a
+// Record call.
+func (b *Breaker) Allow(now time.Time) bool {
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.transition(now, BreakerHalfOpen)
+	}
+	switch b.state {
+	case BreakerOpen:
+		return false
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.HalfOpenMax {
+			return false
+		}
+		b.probes++
+		return true
+	default:
+		return true
+	}
+}
+
+// Record feeds one request outcome at now. In the closed state outcomes
+// accumulate in the sliding window and trip the breaker when the failure
+// rate crosses the threshold; in half-open a failure re-opens the circuit
+// and HalfOpenMax consecutive successes re-close it. Outcomes arriving while
+// open (stragglers from before the trip) are dropped.
+func (b *Breaker) Record(now time.Time, ok bool) {
+	switch b.state {
+	case BreakerOpen:
+		return
+	case BreakerHalfOpen:
+		if !ok {
+			b.transition(now, BreakerOpen)
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.HalfOpenMax {
+			b.transition(now, BreakerClosed)
+		}
+		return
+	}
+	// Closed: slide the window forward and append.
+	cutoff := now.Add(-b.cfg.Window)
+	keep := b.samples[:0]
+	for _, s := range b.samples {
+		if s.at.After(cutoff) {
+			keep = append(keep, s)
+		}
+	}
+	b.samples = append(keep, breakerSample{at: now, ok: ok})
+	if len(b.samples) < b.cfg.MinRequests {
+		return
+	}
+	failed := 0
+	for _, s := range b.samples {
+		if !s.ok {
+			failed++
+		}
+	}
+	if float64(failed)/float64(len(b.samples)) >= b.cfg.FailureRate {
+		b.transition(now, BreakerOpen)
+	}
+}

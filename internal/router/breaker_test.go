@@ -1,0 +1,180 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitions drives the circuit through its lifecycle with an
+// explicit virtual clock: each step either records an outcome or asks for
+// admission at a given sim-time offset, and asserts the resulting state.
+func TestBreakerTransitions(t *testing.T) {
+	cfg := BreakerConfig{
+		Window:      10 * time.Second,
+		MinRequests: 4,
+		FailureRate: 0.5,
+		OpenFor:     30 * time.Second,
+		HalfOpenMax: 2,
+	}
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	type step struct {
+		at        time.Duration
+		op        string // "ok", "fail", "allow", "deny"
+		wantState BreakerState
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "trips only past MinRequests",
+			steps: []step{
+				{0, "fail", BreakerClosed},
+				{1 * time.Second, "fail", BreakerClosed},
+				{2 * time.Second, "fail", BreakerClosed}, // 3 < MinRequests: still closed
+				{3 * time.Second, "fail", BreakerOpen},   // 4/4 failed ≥ 50%
+			},
+		},
+		{
+			name: "healthy traffic never trips",
+			steps: []step{
+				{0, "ok", BreakerClosed},
+				{1 * time.Second, "ok", BreakerClosed},
+				{2 * time.Second, "fail", BreakerClosed},
+				{3 * time.Second, "ok", BreakerClosed}, // 1/4 failed < 50%
+				{4 * time.Second, "allow", BreakerClosed},
+			},
+		},
+		{
+			name: "window slides old failures out",
+			steps: []step{
+				{0, "fail", BreakerClosed},
+				{1 * time.Second, "fail", BreakerClosed},
+				// 15s later the two failures have aged out of the 10s window;
+				// these three leave the rate at 1/3 over too few samples.
+				{15 * time.Second, "ok", BreakerClosed},
+				{16 * time.Second, "ok", BreakerClosed},
+				{17 * time.Second, "fail", BreakerClosed},
+			},
+		},
+		{
+			name: "open rejects until OpenFor then half-opens",
+			steps: []step{
+				{0, "fail", BreakerClosed},
+				{1 * time.Second, "fail", BreakerClosed},
+				{2 * time.Second, "fail", BreakerClosed},
+				{3 * time.Second, "fail", BreakerOpen},
+				{10 * time.Second, "deny", BreakerOpen},      // still inside OpenFor
+				{34 * time.Second, "allow", BreakerHalfOpen}, // 31s after trip
+			},
+		},
+		{
+			name: "half-open probe failure reopens",
+			steps: []step{
+				{0, "fail", BreakerClosed},
+				{1 * time.Second, "fail", BreakerClosed},
+				{2 * time.Second, "fail", BreakerClosed},
+				{3 * time.Second, "fail", BreakerOpen},
+				{40 * time.Second, "allow", BreakerHalfOpen},
+				{41 * time.Second, "fail", BreakerOpen},
+				{50 * time.Second, "deny", BreakerOpen}, // OpenFor restarts at re-trip
+			},
+		},
+		{
+			name: "half-open probe successes reclose",
+			steps: []step{
+				{0, "fail", BreakerClosed},
+				{1 * time.Second, "fail", BreakerClosed},
+				{2 * time.Second, "fail", BreakerClosed},
+				{3 * time.Second, "fail", BreakerOpen},
+				{40 * time.Second, "ok", BreakerHalfOpen}, // 1/2 probe successes
+				{41 * time.Second, "ok", BreakerClosed},   // HalfOpenMax successes
+				{42 * time.Second, "allow", BreakerClosed},
+			},
+		},
+		{
+			name: "half-open admits only HalfOpenMax probes",
+			steps: []step{
+				{0, "fail", BreakerClosed},
+				{1 * time.Second, "fail", BreakerClosed},
+				{2 * time.Second, "fail", BreakerClosed},
+				{3 * time.Second, "fail", BreakerOpen},
+				{40 * time.Second, "allow", BreakerHalfOpen},
+				{40 * time.Second, "allow", BreakerHalfOpen},
+				{40 * time.Second, "deny", BreakerHalfOpen}, // probe budget spent
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBreaker(cfg)
+			for i, s := range tc.steps {
+				now := epoch.Add(s.at)
+				switch s.op {
+				case "ok":
+					if !b.Allow(now) {
+						t.Fatalf("step %d: request rejected in state %v", i, b.State())
+					}
+					b.Record(now, true)
+				case "fail":
+					if b.State() != BreakerOpen && !b.Allow(now) {
+						t.Fatalf("step %d: request rejected in state %v", i, b.State())
+					}
+					b.Record(now, false)
+				case "allow":
+					if !b.Allow(now) {
+						t.Fatalf("step %d: want admitted, got rejected", i)
+					}
+				case "deny":
+					if b.Allow(now) {
+						t.Fatalf("step %d: want rejected, got admitted", i)
+					}
+				}
+				if b.State() != s.wantState {
+					t.Fatalf("step %d (%s at %v): state = %v, want %v",
+						i, s.op, s.at, b.State(), s.wantState)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerAdmitsIsSideEffectFree verifies the failover filter can poll a
+// half-open breaker without consuming its probe budget.
+func TestBreakerAdmitsIsSideEffectFree(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	b := NewBreaker(BreakerConfig{MinRequests: 2, HalfOpenMax: 1, OpenFor: time.Second})
+	b.Record(epoch, false)
+	b.Record(epoch, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	later := epoch.Add(2 * time.Second)
+	for i := 0; i < 10; i++ {
+		if !b.Admits(later) {
+			t.Fatal("Admits rejected past OpenFor")
+		}
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("Admits mutated state to %v", b.State())
+	}
+	if !b.Allow(later) {
+		t.Fatal("Allow rejected the single half-open probe")
+	}
+	if b.Allow(later) {
+		t.Fatal("probe budget not enforced after Admits polling")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

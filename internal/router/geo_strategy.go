@@ -149,11 +149,11 @@ func (c CostAware) PickAZ(dec Decision) string {
 	best := ""
 	bestCost := 0.0
 	for _, az := range dec.Candidates {
-		d, ok := dec.dist(az)
-		if !ok {
+		info := dec.Lookup(az)
+		if !info.Known || !info.Fresh {
 			continue
 		}
-		ms, ok := dec.Perf.ExpectedMS(dec.Workload, d)
+		ms, ok := dec.Perf.ExpectedMS(dec.Workload, info.Dist)
 		if !ok {
 			continue
 		}
@@ -178,9 +178,17 @@ func (c CostAware) PickAZ(dec Decision) string {
 }
 
 // Ban implements Strategy: cost-aware placement keeps the hybrid retry
-// logic inside the chosen zone.
+// logic inside the chosen zone, degrading to the conservative slowest-two
+// ban when the zone's characterization has gone stale.
 func (c CostAware) Ban(dec Decision, az string) map[cpu.Kind]bool {
-	return optimalBanSet(dec, az, 150)
+	info := dec.Lookup(az)
+	if !info.Known {
+		return nil
+	}
+	if !info.Fresh {
+		return banSlowest(dec, info.Dist, 2)
+	}
+	return optimalBanSet(dec, info.Dist, 150)
 }
 
 var (

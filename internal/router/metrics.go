@@ -20,6 +20,10 @@ type burstMetrics struct {
 	strategy  string
 	retries   *metrics.Counter
 	failures  *metrics.Counter
+	failovers *metrics.Counter
+	hedges    *metrics.Counter
+	hedgeWins *metrics.Counter
+	abandoned *metrics.Counter
 	elapsedMS *metrics.Histogram
 }
 
@@ -32,6 +36,14 @@ func (r *Router) burstMetrics(strategy string) burstMetrics {
 			"invocations reissued after a CPU-ban decline", sL),
 		failures: r.metrics.Counter("sky_router_failures_total",
 			"invocations reissued after a platform failure", sL),
+		failovers: r.metrics.Counter("sky_router_failovers_total",
+			"mid-burst re-routes to another zone after a breaker opened", sL),
+		hedges: r.metrics.Counter("sky_router_hedges_total",
+			"duplicate requests issued against slow slots", sL),
+		hedgeWins: r.metrics.Counter("sky_router_hedge_wins_total",
+			"hedged requests whose duplicate answered first", sL),
+		abandoned: r.metrics.Counter("sky_router_abandoned_total",
+			"slots dropped after exhausting their retry budget", sL),
 		elapsedMS: r.metrics.Histogram("sky_router_burst_elapsed_ms",
 			"burst wall time from start to last completion (virtual milliseconds)", nil, sL),
 	}

@@ -79,8 +79,8 @@ func TestOptimalBanSetSafetyProperty(t *testing.T) {
 			means[k] = 1000 + s.Float64()*9000
 		}
 		dec := mkDecisionQuick(shares, means)
-		banned := optimalBanSet(dec, "z", 150)
-		d, _ := dec.dist("z")
+		banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
+		d := dec.Lookup("z").Dist
 		ranked := dec.Perf.Kinds(workload.Zipper)
 		if len(ranked) > 0 && banned[ranked[0]] {
 			return false // fastest banned

@@ -1,0 +1,146 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"skyfaas/internal/geo"
+)
+
+// This file is the single front door for strategy construction. Every
+// consumer — skyd's HTTP handlers, the CLI tools, the experiments — names a
+// strategy with a StrategySpec and turns it into a live Strategy with
+// Build. Adding a strategy means adding one entry to builders; callers pick
+// it up by name with no further wiring.
+
+// ErrUnknownStrategy is wrapped by Build when the spec names a strategy
+// that is not registered. The error text lists the valid names.
+var ErrUnknownStrategy = errors.New("unknown strategy")
+
+// ErrBadSpec is wrapped by Build when the spec names a valid strategy but
+// misconfigures it (for example a pinned strategy with no AZ).
+var ErrBadSpec = errors.New("bad strategy spec")
+
+// StrategySpec is a declarative, wire-friendly description of a routing
+// strategy: a name from Names plus the handful of scalars the strategies
+// need. It is what HTTP requests, flags, and experiment configs carry
+// instead of concrete Strategy values.
+type StrategySpec struct {
+	// Name selects the strategy (see Names).
+	Name string `json:"name"`
+	// AZ pins the home zone for the single-zone strategies
+	// (baseline, retry-slow, focus-fastest).
+	AZ string `json:"az,omitempty"`
+	// Params carries optional per-strategy scalars:
+	//
+	//	latency-bound: maxRTTMS, clientLat, clientLon
+	//	cost-aware:    memoryMB
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// buildEnv collects the runtime dependencies a registry entry may need.
+type buildEnv struct {
+	locator ZoneLocator
+	pricer  ZonePricer
+}
+
+// BuildOption supplies a runtime dependency to Build.
+type BuildOption func(*buildEnv)
+
+// WithLocator wires the zone-to-coordinates lookup the latency-bound
+// strategy filters with.
+func WithLocator(l ZoneLocator) BuildOption {
+	return func(e *buildEnv) { e.locator = l }
+}
+
+// WithPricer wires the zone-to-rate-card lookup the cost-aware strategy
+// prices with.
+func WithPricer(p ZonePricer) BuildOption {
+	return func(e *buildEnv) { e.pricer = p }
+}
+
+func needsAZ(spec StrategySpec) error {
+	if spec.AZ == "" {
+		return fmt.Errorf("%w: %s needs an az", ErrBadSpec, spec.Name)
+	}
+	return nil
+}
+
+var builders = map[string]func(StrategySpec, buildEnv) (Strategy, error){
+	"baseline": func(spec StrategySpec, _ buildEnv) (Strategy, error) {
+		if err := needsAZ(spec); err != nil {
+			return nil, err
+		}
+		return Baseline{AZ: spec.AZ}, nil
+	},
+	"regional": func(StrategySpec, buildEnv) (Strategy, error) {
+		return Regional{}, nil
+	},
+	"retry-slow": func(spec StrategySpec, _ buildEnv) (Strategy, error) {
+		if err := needsAZ(spec); err != nil {
+			return nil, err
+		}
+		return RetrySlow{AZ: spec.AZ}, nil
+	},
+	"focus-fastest": func(spec StrategySpec, _ buildEnv) (Strategy, error) {
+		if err := needsAZ(spec); err != nil {
+			return nil, err
+		}
+		return FocusFastest{AZ: spec.AZ}, nil
+	},
+	"hybrid": func(StrategySpec, buildEnv) (Strategy, error) {
+		return Hybrid{}, nil
+	},
+	"latency-bound": func(spec StrategySpec, env buildEnv) (Strategy, error) {
+		lb := LatencyBound{
+			Locator: env.locator,
+			Client:  geo.Coord{Lat: spec.Params["clientLat"], Lon: spec.Params["clientLon"]},
+		}
+		if v, ok := spec.Params["maxRTTMS"]; ok {
+			if v <= 0 {
+				return nil, fmt.Errorf("%w: latency-bound maxRTTMS must be positive", ErrBadSpec)
+			}
+			lb.MaxRTT = time.Duration(v * float64(time.Millisecond))
+		}
+		return lb, nil
+	},
+	"cost-aware": func(spec StrategySpec, env buildEnv) (Strategy, error) {
+		ca := CostAware{Pricer: env.pricer}
+		if v, ok := spec.Params["memoryMB"]; ok {
+			if v <= 0 {
+				return nil, fmt.Errorf("%w: cost-aware memoryMB must be positive", ErrBadSpec)
+			}
+			ca.MemoryMB = int(v)
+		}
+		return ca, nil
+	},
+}
+
+// Names returns the registered strategy names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build turns a StrategySpec into a Strategy. Unknown names yield an error
+// wrapping ErrUnknownStrategy that lists the valid choices; specs that
+// misconfigure a known strategy yield one wrapping ErrBadSpec.
+func Build(spec StrategySpec, opts ...BuildOption) (Strategy, error) {
+	var env buildEnv
+	for _, opt := range opts {
+		opt(&env)
+	}
+	builder, ok := builders[spec.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (valid: %s)",
+			ErrUnknownStrategy, spec.Name, strings.Join(Names(), ", "))
+	}
+	return builder(spec, env)
+}

@@ -1,0 +1,105 @@
+package router
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildKnownStrategies(t *testing.T) {
+	cases := []struct {
+		spec StrategySpec
+		want Strategy
+	}{
+		{StrategySpec{Name: "baseline", AZ: "z1"}, Baseline{AZ: "z1"}},
+		{StrategySpec{Name: "regional"}, Regional{}},
+		{StrategySpec{Name: "retry-slow", AZ: "z1"}, RetrySlow{AZ: "z1"}},
+		{StrategySpec{Name: "focus-fastest", AZ: "z1"}, FocusFastest{AZ: "z1"}},
+		{StrategySpec{Name: "hybrid"}, Hybrid{}},
+		{StrategySpec{Name: "cost-aware", Params: map[string]float64{"memoryMB": 2048}}, CostAware{MemoryMB: 2048}},
+	}
+	for _, tc := range cases {
+		got, err := Build(tc.spec)
+		if err != nil {
+			t.Errorf("Build(%+v): %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Build(%+v) = %#v, want %#v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestBuildUnknownStrategyListsNames(t *testing.T) {
+	_, err := Build(StrategySpec{Name: "teleport"})
+	if !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("err = %v, want ErrUnknownStrategy", err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid strategy %q", err, name)
+		}
+	}
+}
+
+func TestBuildPinnedStrategiesNeedAZ(t *testing.T) {
+	for _, name := range []string{"baseline", "retry-slow", "focus-fastest"} {
+		_, err := Build(StrategySpec{Name: name})
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Build(%s with no az) = %v, want ErrBadSpec", name, err)
+		}
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	for _, spec := range []StrategySpec{
+		{Name: "latency-bound", Params: map[string]float64{"maxRTTMS": -5}},
+		{Name: "cost-aware", Params: map[string]float64{"memoryMB": 0}},
+	} {
+		if _, err := Build(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Build(%+v) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+func TestBuildLatencyBoundWiresDeps(t *testing.T) {
+	s, err := Build(StrategySpec{
+		Name:   "latency-bound",
+		Params: map[string]float64{"maxRTTMS": 80, "clientLat": 47.6, "clientLon": -122.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ok := s.(LatencyBound)
+	if !ok {
+		t.Fatalf("built %T, want LatencyBound", s)
+	}
+	if lb.MaxRTT != 80*time.Millisecond || lb.Client.Lat != 47.6 || lb.Client.Lon != -122.3 {
+		t.Fatalf("lb = %+v", lb)
+	}
+	if lb.Name() != "latency-bound+hybrid" {
+		t.Fatalf("name = %q", lb.Name())
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	want := []string{"baseline", "cost-aware", "focus-fastest", "hybrid", "latency-bound", "regional", "retry-slow"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	// Every registered name must build a strategy whose Name() round-trips
+	// (composites prefix their inner strategy's name).
+	for _, name := range names {
+		s, err := Build(StrategySpec{Name: name, AZ: "z1"})
+		if err != nil {
+			t.Errorf("Build(%q): %v", name, err)
+			continue
+		}
+		if !strings.Contains(s.Name(), name) {
+			t.Errorf("Build(%q).Name() = %q", name, s.Name())
+		}
+	}
+}

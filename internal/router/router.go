@@ -14,23 +14,30 @@ import (
 	"skyfaas/internal/faas"
 	"skyfaas/internal/mesh"
 	"skyfaas/internal/metrics"
+	"skyfaas/internal/rng"
 	"skyfaas/internal/sim"
 	"skyfaas/internal/workload"
 )
 
 // Router executes workload bursts over the sky mesh.
 type Router struct {
-	client  *faas.Client
-	mesh    *mesh.Mesh
-	store   *charact.Store
-	perf    *PerfModel
-	passive *charact.Passive
-	metrics *metrics.Registry
+	client   *faas.Client
+	mesh     *mesh.Mesh
+	store    *charact.Store
+	perf     *PerfModel
+	passive  *charact.Passive
+	metrics  *metrics.Registry
+	breakers map[string]*Breaker
+	rand     *rng.Stream
 }
 
 // New assembles a router.
 func New(client *faas.Client, m *mesh.Mesh, store *charact.Store, perf *PerfModel) *Router {
-	return &Router{client: client, mesh: m, store: store, perf: perf}
+	return &Router{
+		client: client, mesh: m, store: store, perf: perf,
+		breakers: make(map[string]*Breaker),
+		rand:     rng.New(0).Split("router"),
+	}
 }
 
 // UsePassive attaches a passive characterization collector: every response
@@ -77,6 +84,10 @@ type BurstSpec struct {
 	// Learn feeds observed runtimes back into the perf model (passive
 	// profiling; default off so experiments control their training data).
 	Learn bool
+	// Resilience enables graceful degradation: bounded retries with
+	// jittered backoff, hedging, the per-zone circuit breaker, and zone
+	// failover. Nil reproduces the legacy behavior exactly.
+	Resilience *Resilience
 }
 
 func (s BurstSpec) withDefaults() BurstSpec {
@@ -112,6 +123,24 @@ type BurstResult struct {
 	CostUSD float64
 	// Elapsed is wall (virtual) time from burst start to last completion.
 	Elapsed time.Duration
+	// Abandoned counts slots that exhausted their retry budget (resilient
+	// bursts only; legacy bursts retry until they complete).
+	Abandoned int
+	// Failovers counts mid-burst re-routes to another zone after the
+	// breaker opened.
+	Failovers int
+	// Hedges counts duplicate requests issued against slow slots; HedgeWins
+	// counts the hedges whose response arrived first.
+	Hedges    int
+	HedgeWins int
+}
+
+// SuccessRate is the fraction of requested invocations that completed.
+func (b BurstResult) SuccessRate() float64 {
+	if b.N == 0 {
+		return 0
+	}
+	return float64(b.Completed) / float64(b.N)
 }
 
 // MeanRunMS is the mean billed runtime of completed executions.
@@ -133,14 +162,19 @@ func (b BurstResult) RetryFrac() float64 {
 }
 
 // Burst executes spec from the calling process and returns when all N
-// invocations have completed.
+// invocations have completed (or, under a Resilience envelope, been
+// abandoned after exhausting their retry budget).
 //
 // Retries stream: the moment a decline arrives the slot is reissued, while
 // the declining instance is still held busy (§3.5's 150 ms hold), so the
 // reissue cannot land back on it. Once the burst has been retrying for
 // GiveUp, stragglers are reissued without bans so the burst always
-// completes. Platform failures (throttle/saturation) back off briefly
-// before reissue.
+// completes. Platform failures (throttle/saturation/outage) back off before
+// reissue — a fixed 50 ms without Resilience, exponential with jitter
+// under it. With Resilience, a per-zone circuit breaker watches those
+// failures and, once open, queued slots fail over to the next-best
+// characterized candidate zone; slow slots may additionally be hedged, the
+// first response winning and the loser being dropped on arrival.
 func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	spec = spec.withDefaults()
 	if spec.Strategy == nil {
@@ -169,6 +203,7 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	bm := r.burstMetrics(spec.Strategy.Name())
 	bm.recordDecision(az, spec.Candidates)
 
+	rs := spec.Resilience.withDefaults()
 	res := BurstResult{
 		Strategy: spec.Strategy.Name(),
 		Workload: spec.Workload,
@@ -187,69 +222,189 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 		maxOutstanding = 1
 	}
 	outstanding := 0
-	queued := 0
-	var issue func()
-	pump := func() {
-		for outstanding < maxOutstanding && queued > 0 {
-			queued--
+
+	// slot is one logical invocation. gen advances every time the slot is
+	// (re)issued or settled, so a response carrying a stale gen — a hedge
+	// loser, or the twin of an attempt that already failed — identifies
+	// itself and is dropped.
+	type slot struct {
+		attempts int // platform-failure attempts consumed
+		gen      int
+	}
+	queue := make([]*slot, 0, spec.N)
+	for i := 0; i < spec.N; i++ {
+		queue = append(queue, &slot{})
+	}
+
+	// Route state; failover rewrites these for every slot issued afterward.
+	routeAZ, routeEp, routeBans := az, ep, banned
+
+	// failOver retargets the burst at the best candidate whose breaker
+	// admits traffic. Side-effect-free Admits is used for filtering so
+	// probing budgets aren't consumed on zones we don't pick.
+	failOver := func() bool {
+		cands := make([]string, 0, len(spec.Candidates))
+		for _, c := range spec.Candidates {
+			if c == routeAZ {
+				continue
+			}
+			if b, ok := r.breakers[c]; ok && !b.Admits(env.Now()) {
+				continue
+			}
+			cands = append(cands, c)
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		d := dec
+		d.Candidates = cands
+		d.Now = env.Now()
+		next := bestAZ(d)
+		if next == "" || next == routeAZ {
+			return false
+		}
+		nextEp, ok := r.mesh.Nearest(next, spec.MemoryMB, cpu.X86)
+		if !ok {
+			return false
+		}
+		routeAZ, routeEp = next, nextEp
+		routeBans = spec.Strategy.Ban(d, next)
+		res.AZ = next // report where the burst ended up, not where it began
+		res.Failovers++
+		bm.failovers.Inc()
+		return true
+	}
+
+	finish := func() bool {
+		if res.Completed+res.Abandoned == spec.N {
+			done.Trigger(nil)
+			return true
+		}
+		return false
+	}
+
+	var issue func(sl *slot)
+	var pump func()
+	pump = func() {
+		for outstanding < maxOutstanding && len(queue) > 0 {
+			if rs.breakerOn() && !env.Now().After(giveUpAt) &&
+				!r.breakerFor(routeAZ, rs.Breaker).Allow(env.Now()) {
+				if rs.Failover && failOver() {
+					continue // re-gate against the new zone's breaker
+				}
+				// Nowhere to go: hold the queue and try again shortly.
+				env.Schedule(50*time.Millisecond, pump)
+				return
+			}
+			sl := queue[0]
+			queue = queue[1:]
 			outstanding++
-			issue()
+			issue(sl)
 		}
 	}
-	issue = func() {
-		slotBans := banned
+	requeue := func(sl *slot, after time.Duration) {
+		queue = append(queue, sl)
+		if after > 0 {
+			env.Schedule(after, pump)
+		} else {
+			pump()
+		}
+	}
+	issue = func(sl *slot) {
+		sl.gen++
+		gen := sl.gen
+		slotBans := routeBans
 		if env.Now().After(giveUpAt) {
 			slotBans = nil // guarantee completion
 		}
-		r.client.Start(faas.Call{
-			AZ:       az,
-			Function: ep.Function,
+		azAt := routeAZ
+		call := faas.Call{
+			AZ:       azAt,
+			Function: routeEp.Function,
 			Work: cloudsim.ProbeBehavior{
 				Work:   cloudsim.WorkBehavior{Workload: spec.Workload},
 				Banned: slotBans,
 				HoldMS: spec.HoldMS,
 			},
-		}, func(resp cloudsim.Response) {
-			res.Attempts++
-			res.CostUSD += resp.CostUSD
-			outstanding--
-			r.observePassive(az, resp)
-			if !resp.OK() {
-				res.Failed++
-				bm.failures.Inc()
-				queued++
-				env.Schedule(50*time.Millisecond, pump)
-				return
+		}
+		send := func(isHedge bool) {
+			r.client.Start(call, func(resp cloudsim.Response) {
+				outstanding--
+				res.Attempts++
+				res.CostUSD += resp.CostUSD
+				r.observePassive(azAt, resp)
+				if rs.breakerOn() {
+					r.breakerFor(azAt, rs.Breaker).Record(env.Now(), resp.OK())
+				}
+				if gen != sl.gen {
+					// Hedge loser or twin of a settled attempt: dropped.
+					pump()
+					return
+				}
+				sl.gen++ // settle: any in-flight twin is now a loser
+				if isHedge {
+					res.HedgeWins++
+					bm.hedgeWins.Inc()
+				}
+				outcome, isProbe := resp.Value.(cloudsim.ProbeOutcome)
+				switch {
+				case !resp.OK() || !isProbe:
+					res.Failed++
+					bm.failures.Inc()
+					sl.attempts++
+					if rs != nil && sl.attempts >= rs.Retry.MaxAttempts {
+						res.Abandoned++
+						bm.abandoned.Inc()
+						if finish() {
+							return
+						}
+						pump()
+						return
+					}
+					backoff := 50 * time.Millisecond
+					if rs != nil {
+						backoff = rs.Retry.Backoff(sl.attempts, r.rand)
+					}
+					requeue(sl, backoff)
+				case !outcome.Ran:
+					res.Declined++
+					bm.retries.Inc()
+					requeue(sl, 0) // reissue while the declining FI is held
+				default:
+					res.Completed++
+					res.PerCPU[resp.Profile.Kind]++
+					res.TotalRunMS += resp.BilledMS
+					if spec.Learn {
+						r.perf.Observe(spec.Workload, resp.Profile.Kind, resp.BilledMS)
+					}
+					if finish() {
+						return
+					}
+					pump()
+				}
+			})
+		}
+		send(false)
+		if rs != nil && rs.Hedge.Enabled() {
+			var arm func(left int)
+			arm = func(left int) {
+				if left == 0 {
+					return
+				}
+				env.Schedule(rs.Hedge.After, func() {
+					if gen != sl.gen || outstanding >= maxOutstanding {
+						return // settled already, or no quota headroom
+					}
+					outstanding++
+					res.Hedges++
+					bm.hedges.Inc()
+					send(true)
+					arm(left - 1)
+				})
 			}
-			outcome, ok := resp.Value.(cloudsim.ProbeOutcome)
-			if !ok {
-				res.Failed++
-				bm.failures.Inc()
-				queued++
-				env.Schedule(50*time.Millisecond, pump)
-				return
-			}
-			if !outcome.Ran {
-				res.Declined++
-				bm.retries.Inc()
-				queued++
-				pump() // reissue while the declining FI is held
-				return
-			}
-			res.Completed++
-			res.PerCPU[resp.Profile.Kind]++
-			res.TotalRunMS += resp.BilledMS
-			if spec.Learn {
-				r.perf.Observe(spec.Workload, resp.Profile.Kind, resp.BilledMS)
-			}
-			if res.Completed == spec.N {
-				done.Trigger(nil)
-				return
-			}
-			pump()
-		})
+			arm(rs.Hedge.MaxHedges())
+		}
 	}
-	queued = spec.N
 	pump()
 	p.Wait(done)
 	res.Elapsed = env.Now().Sub(start)

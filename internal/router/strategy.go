@@ -30,13 +30,33 @@ type Decision struct {
 	Now        time.Time
 }
 
-// dist returns the fresh characterization of az, if any.
-func (d Decision) dist(az string) (charact.Dist, bool) {
-	ch, ok := d.Store.Get(az, d.Now)
+// DistInfo is what the store knows about one zone at decision time: the
+// last characterized distribution, its age, and whether it is still fresh
+// under the store's lifespan. Known=false means the zone has never been
+// characterized at all.
+type DistInfo struct {
+	Dist  charact.Dist
+	Age   time.Duration
+	Fresh bool
+	Known bool
+}
+
+// Lookup surfaces az's characterization together with its staleness.
+// Strategies used to see stale zones as plain uncharacterized (the old
+// fresh-only dist helper returned nothing), which silently discarded the
+// ban/ranking signal a drifted-but-recent characterization still carries;
+// Lookup lets them degrade deliberately instead.
+func (d Decision) Lookup(az string) DistInfo {
+	ch, ok := d.Store.Last(az)
 	if !ok {
-		return nil, false
+		return DistInfo{}
 	}
-	return ch.Dist(), true
+	return DistInfo{
+		Dist:  ch.Dist(),
+		Age:   ch.Age(d.Now),
+		Fresh: d.Store.Fresh(ch, d.Now),
+		Known: true,
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -72,32 +92,44 @@ func (Regional) PickAZ(dec Decision) string { return bestAZ(dec) }
 // Ban implements Strategy.
 func (Regional) Ban(Decision, string) map[cpu.Kind]bool { return nil }
 
-// bestAZ returns the candidate with the lowest expected runtime; zones
-// without fresh characterizations are considered last. Falls back to the
-// first candidate.
+// bestAZ returns the candidate with the lowest expected runtime. Freshly
+// characterized zones are ranked first among themselves; when none is
+// fresh, stale characterizations still rank the candidates — an outdated
+// estimate beats the blind first-candidate guess. Fully unknown zones fall
+// back to the first candidate.
 func bestAZ(dec Decision) string {
 	if len(dec.Candidates) == 0 {
 		return ""
 	}
-	best := ""
-	bestMS := 0.0
+	bestFresh, bestFreshMS := "", 0.0
+	bestStale, bestStaleMS := "", 0.0
 	for _, az := range dec.Candidates {
-		d, ok := dec.dist(az)
+		info := dec.Lookup(az)
+		if !info.Known {
+			continue
+		}
+		ms, ok := dec.Perf.ExpectedMS(dec.Workload, info.Dist)
 		if !ok {
 			continue
 		}
-		ms, ok := dec.Perf.ExpectedMS(dec.Workload, d)
-		if !ok {
-			continue
-		}
-		if best == "" || ms < bestMS {
-			best, bestMS = az, ms
+		switch {
+		case info.Fresh:
+			if bestFresh == "" || ms < bestFreshMS {
+				bestFresh, bestFreshMS = az, ms
+			}
+		default:
+			if bestStale == "" || ms < bestStaleMS {
+				bestStale, bestStaleMS = az, ms
+			}
 		}
 	}
-	if best == "" {
-		return dec.Candidates[0]
+	if bestFresh != "" {
+		return bestFresh
 	}
-	return best
+	if bestStale != "" {
+		return bestStale
+	}
+	return dec.Candidates[0]
 }
 
 // ---------------------------------------------------------------------------
@@ -117,24 +149,29 @@ func (RetrySlow) Name() string { return "retry-slow" }
 // PickAZ implements Strategy.
 func (r RetrySlow) PickAZ(Decision) string { return r.AZ }
 
-// Ban implements Strategy.
+// Ban implements Strategy. Stale characterizations are used as-is: the
+// slow/fast CPU ordering survives drift far better than exact shares, so a
+// conservative slowest-N ban stays worthwhile on old data.
 func (r RetrySlow) Ban(dec Decision, az string) map[cpu.Kind]bool {
 	n := r.SlowCount
 	if n == 0 {
 		n = 2
 	}
-	return banSlowest(dec, az, n)
+	info := dec.Lookup(az)
+	if !info.Known {
+		return nil
+	}
+	return banSlowest(dec, info.Dist, n)
 }
 
-// banSlowest bans up to the n slowest kinds present in the zone, under
-// three guards: never the fastest present kind, never a kind so close to
-// the fastest that retrying off it cannot repay the decline hold, and never
-// so much of the zone that fewer than ~30% of placements can run — the
-// paper's "only banning very poorly performing CPUs" mitigation.
-func banSlowest(dec Decision, az string, n int) map[cpu.Kind]bool {
+// banSlowest bans up to the n slowest kinds present in d, under three
+// guards: never the fastest present kind, never a kind so close to the
+// fastest that retrying off it cannot repay the decline hold, and never so
+// much of the zone that fewer than ~30% of placements can run — the paper's
+// "only banning very poorly performing CPUs" mitigation.
+func banSlowest(dec Decision, d charact.Dist, n int) map[cpu.Kind]bool {
 	const minKeptShare = 0.3
-	d, ok := dec.dist(az)
-	if !ok {
+	if len(d) == 0 {
 		return nil
 	}
 	ranked := dec.Perf.Kinds(dec.Workload) // fastest first
@@ -198,9 +235,19 @@ func (FocusFastest) Name() string { return "focus-fastest" }
 // PickAZ implements Strategy.
 func (f FocusFastest) PickAZ(Decision) string { return f.AZ }
 
-// Ban implements Strategy.
+// Ban implements Strategy. On a stale characterization the strategy
+// degrades deliberately to banning the slowest two kinds: full focus bets
+// on the exact share of one CPU, which drift invalidates first, while the
+// slow/fast ordering it falls back on decays much more slowly.
 func (f FocusFastest) Ban(dec Decision, az string) map[cpu.Kind]bool {
-	return banAllButFastest(dec, az, f.minShare(), minGain(f.MinGainMS))
+	info := dec.Lookup(az)
+	if !info.Known {
+		return nil
+	}
+	if !info.Fresh {
+		return banSlowest(dec, info.Dist, 2)
+	}
+	return banAllButFastest(dec, info.Dist, f.minShare(), minGain(f.MinGainMS))
 }
 
 func (f FocusFastest) minShare() float64 {
@@ -220,9 +267,8 @@ func minGain(v float64) float64 {
 	return v
 }
 
-func banAllButFastest(dec Decision, az string, minShare, minGainMS float64) map[cpu.Kind]bool {
-	d, ok := dec.dist(az)
-	if !ok {
+func banAllButFastest(dec Decision, d charact.Dist, minShare, minGainMS float64) map[cpu.Kind]bool {
+	if len(d) == 0 {
 		return nil
 	}
 	ranked := dec.Perf.Kinds(dec.Workload)
@@ -237,7 +283,7 @@ func banAllButFastest(dec Decision, az string, minShare, minGainMS float64) map[
 		return nil
 	}
 	if d.Share(fastest) < minShare {
-		return banSlowest(dec, az, 2)
+		return banSlowest(dec, d, 2)
 	}
 	fastMS, ok := dec.Perf.Mean(dec.Workload, fastest)
 	if !ok {
@@ -279,21 +325,29 @@ func (Hybrid) Name() string { return "hybrid" }
 // PickAZ implements Strategy.
 func (Hybrid) PickAZ(dec Decision) string { return bestAZ(dec) }
 
-// Ban implements Strategy.
+// Ban implements Strategy. The cost optimization leans on exact shares, so
+// on a stale characterization Hybrid degrades deliberately to the
+// conservative slowest-two ban rather than optimizing against drifted data.
 func (h Hybrid) Ban(dec Decision, az string) map[cpu.Kind]bool {
 	hold := h.HoldMS
 	if hold == 0 {
 		hold = 150
 	}
-	return optimalBanSet(dec, az, hold)
+	info := dec.Lookup(az)
+	if !info.Known {
+		return nil
+	}
+	if !info.Fresh {
+		return banSlowest(dec, info.Dist, 2)
+	}
+	return optimalBanSet(dec, info.Dist, hold)
 }
 
 // optimalBanSet picks the ban cutoff minimizing expected per-completion
 // cost: runtime over the kept kinds plus (bannedShare/keptShare)*hold of
 // decline overhead.
-func optimalBanSet(dec Decision, az string, holdMS float64) map[cpu.Kind]bool {
-	d, ok := dec.dist(az)
-	if !ok {
+func optimalBanSet(dec Decision, d charact.Dist, holdMS float64) map[cpu.Kind]bool {
+	if len(d) == 0 {
 		return nil
 	}
 	ranked := dec.Perf.Kinds(dec.Workload) // fastest first

@@ -33,7 +33,7 @@ func TestOptimalBanSetBansWhenProfitable(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 0.8, cpu.EPYC: 0.2},
 		map[cpu.Kind]float64{cpu.Xeon25: 4000, cpu.EPYC: 5500},
 	)
-	banned := optimalBanSet(dec, "z", 150)
+	banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
 	if !banned[cpu.EPYC] || banned[cpu.Xeon25] {
 		t.Fatalf("bans = %v", banned)
 	}
@@ -46,7 +46,7 @@ func TestOptimalBanSetSkipsUnprofitableBans(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 0.95, cpu.Xeon30: 0.05},
 		map[cpu.Kind]float64{cpu.Xeon25: 4000, cpu.Xeon30: 3950},
 	)
-	if banned := optimalBanSet(dec, "z", 150); banned != nil {
+	if banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150); banned != nil {
 		t.Fatalf("bans = %v, want none", banned)
 	}
 }
@@ -58,7 +58,7 @@ func TestOptimalBanSetPicksInteriorCutoff(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon30: 0.10, cpu.Xeon25: 0.70, cpu.EPYC: 0.20},
 		map[cpu.Kind]float64{cpu.Xeon30: 3800, cpu.Xeon25: 4000, cpu.EPYC: 6000},
 	)
-	banned := optimalBanSet(dec, "z", 150)
+	banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
 	if !banned[cpu.EPYC] {
 		t.Errorf("EPYC not banned: %v", banned)
 	}
@@ -73,7 +73,7 @@ func TestOptimalBanSetFocusesWhenFastIsPlentiful(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon30: 0.6, cpu.Xeon25: 0.3, cpu.EPYC: 0.1},
 		map[cpu.Kind]float64{cpu.Xeon30: 3400, cpu.Xeon25: 4200, cpu.EPYC: 6000},
 	)
-	banned := optimalBanSet(dec, "z", 150)
+	banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
 	if !banned[cpu.Xeon25] || !banned[cpu.EPYC] || banned[cpu.Xeon30] {
 		t.Fatalf("bans = %v, want all but 3.0GHz", banned)
 	}
@@ -85,12 +85,12 @@ func TestOptimalBanSetDegenerateInputs(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 1},
 		map[cpu.Kind]float64{cpu.Xeon25: 4000},
 	)
-	if banned := optimalBanSet(dec, "z", 150); banned != nil {
+	if banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150); banned != nil {
 		t.Fatalf("bans = %v", banned)
 	}
 	// No characterization.
 	empty := Decision{Workload: workload.Zipper, Store: charact.NewStore(0), Perf: NewPerfModel()}
-	if banned := optimalBanSet(empty, "ghost", 150); banned != nil {
+	if banned := optimalBanSet(empty, empty.Lookup("ghost").Dist, 150); banned != nil {
 		t.Fatalf("bans without characterization = %v", banned)
 	}
 	// Characterized kinds with no perf observations are ignored.
@@ -98,7 +98,7 @@ func TestOptimalBanSetDegenerateInputs(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 0.5, cpu.EPYC: 0.5},
 		map[cpu.Kind]float64{cpu.Xeon25: 4000}, // EPYC never profiled
 	)
-	if banned := optimalBanSet(dec2, "z", 150); banned != nil {
+	if banned := optimalBanSet(dec2, dec2.Lookup("z").Dist, 150); banned != nil {
 		t.Fatalf("bans with unprofiled kind = %v", banned)
 	}
 }

@@ -1,0 +1,140 @@
+package skyd
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"skyfaas/internal/chaos"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/sim"
+)
+
+// Fault-injection admin surface. POST /v1/faults arms a single fault window
+// or a canned scenario; GET /v1/faults lists every scheduled window with
+// its lifecycle state. Durations travel as milliseconds to keep the JSON
+// free of Go duration strings.
+
+type faultJS struct {
+	Kind       string  `json:"kind"`
+	AZ         string  `json:"az"`
+	StartMS    float64 `json:"startMS,omitempty"`
+	DurationMS float64 `json:"durationMS"`
+	Magnitude  float64 `json:"magnitude,omitempty"`
+	ExtraRTTMS float64 `json:"extraRTTMS,omitempty"`
+	Step       float64 `json:"step,omitempty"`
+	EveryMS    float64 `json:"everyMS,omitempty"`
+}
+
+func (f faultJS) fault() chaos.Fault {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	return chaos.Fault{
+		Kind:      chaos.Kind(f.Kind),
+		AZ:        f.AZ,
+		Start:     ms(f.StartMS),
+		Duration:  ms(f.DurationMS),
+		Magnitude: f.Magnitude,
+		ExtraRTT:  ms(f.ExtraRTTMS),
+		Step:      f.Step,
+		Every:     ms(f.EveryMS),
+	}
+}
+
+type injectFaultsReq struct {
+	// Scenario names a canned chaos scenario targeting AZ; exclusive
+	// with Fault.
+	Scenario string `json:"scenario"`
+	AZ       string `json:"az"`
+	// Fault arms one explicit window.
+	Fault *faultJS `json:"fault"`
+}
+
+type faultStatusJS struct {
+	ID        int     `json:"id"`
+	Kind      string  `json:"kind"`
+	AZ        string  `json:"az"`
+	State     string  `json:"state"`
+	StartAt   string  `json:"startAt"`
+	EndAt     string  `json:"endAt"`
+	Magnitude float64 `json:"magnitude,omitempty"`
+}
+
+func statusJS(st chaos.Status) faultStatusJS {
+	return faultStatusJS{
+		ID:        st.ID,
+		Kind:      string(st.Fault.Kind),
+		AZ:        st.Fault.AZ,
+		State:     string(st.State),
+		StartAt:   st.StartAt.UTC().Format(time.RFC3339),
+		EndAt:     st.EndAt.UTC().Format(time.RFC3339),
+		Magnitude: st.Fault.Magnitude,
+	}
+}
+
+// badFault reports whether err is the caller's fault (a 400) rather than a
+// runtime failure.
+func badFault(err error) bool {
+	return errors.Is(err, chaos.ErrUnknownKind) ||
+		errors.Is(err, chaos.ErrBadFault) ||
+		errors.Is(err, cloudsim.ErrNoSuchAZ)
+}
+
+func (s *Server) handleInjectFaults(w http.ResponseWriter, r *http.Request) {
+	var req injectFaultsReq
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Scenario == "") == (req.Fault == nil) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("provide exactly one of scenario or fault"))
+		return
+	}
+	var sc chaos.Scenario
+	if req.Scenario != "" {
+		var ok bool
+		sc, ok = chaos.ScenarioByName(req.Scenario, req.AZ)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scenario %q (valid: %s)",
+				req.Scenario, strings.Join(chaos.ScenarioNames(), ", ")))
+			return
+		}
+	} else {
+		sc = chaos.Scenario{Name: "adhoc", Faults: []chaos.Fault{req.Fault.fault()}}
+	}
+	var ids []int
+	err := s.Exec(func(*sim.Proc) error {
+		got, err := s.rt.Chaos().InjectScenario(sc)
+		ids = got
+		return err
+	})
+	if err != nil {
+		code := http.StatusBadGateway
+		if badFault(err) {
+			code = http.StatusBadRequest
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids})
+}
+
+func (s *Server) handleListFaults(w http.ResponseWriter, r *http.Request) {
+	var out []faultStatusJS
+	err := s.Exec(func(*sim.Proc) error {
+		for _, st := range s.rt.Chaos().Faults() {
+			out = append(out, statusJS(st))
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	if out == nil {
+		out = []faultStatusJS{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,145 @@
+package skyd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestInjectSingleFault(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "POST", "/v1/faults", map[string]any{
+		"fault": map[string]any{
+			"kind": "throttle-storm", "az": "t1-slow",
+			"durationMS": 60000, "magnitude": 0.5,
+		},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var out struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.IDs) != 1 {
+		t.Fatalf("ids = %v", out.IDs)
+	}
+
+	res, body = do(t, s, "GET", "/v1/faults", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", res.StatusCode)
+	}
+	var list []struct {
+		ID        int     `json:"id"`
+		Kind      string  `json:"kind"`
+		AZ        string  `json:"az"`
+		State     string  `json:"state"`
+		Magnitude float64 `json:"magnitude"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Kind != "throttle-storm" ||
+		list[0].AZ != "t1-slow" || list[0].Magnitude != 0.5 {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestInjectScenario(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "POST", "/v1/faults", map[string]any{
+		"scenario": "degraded", "az": "t1-fast",
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var out struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.IDs) != 3 {
+		t.Fatalf("degraded armed %d faults", len(out.IDs))
+	}
+}
+
+func TestInjectFaultValidation(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name string
+		body map[string]any
+	}{
+		{"neither scenario nor fault", map[string]any{}},
+		{"both scenario and fault", map[string]any{
+			"scenario": "degraded", "az": "t1-fast",
+			"fault": map[string]any{"kind": "outage", "az": "t1-fast", "durationMS": 1000},
+		}},
+		{"unknown scenario", map[string]any{"scenario": "volcano", "az": "t1-fast"}},
+		{"unknown kind", map[string]any{
+			"fault": map[string]any{"kind": "meteor", "az": "t1-fast", "durationMS": 1000},
+		}},
+		{"missing duration", map[string]any{
+			"fault": map[string]any{"kind": "outage", "az": "t1-fast"},
+		}},
+		{"ghost az", map[string]any{
+			"fault": map[string]any{"kind": "outage", "az": "ghost", "durationMS": 1000},
+		}},
+	}
+	for _, tc := range cases {
+		if res, body := do(t, s, "POST", "/v1/faults", tc.body); res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> status %d: %s", tc.name, res.StatusCode, body)
+		}
+	}
+	// Nothing armed by the rejected requests.
+	res, body := do(t, s, "GET", "/v1/faults", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", res.StatusCode)
+	}
+	var list []json.RawMessage
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("rejected requests armed %d faults", len(list))
+	}
+}
+
+// TestBurstDegradesUnderInjectedStorm drives the full admin path: arm a
+// storm over HTTP, then run a baseline burst into the stormed zone and
+// watch it fail attempts, while a resilient strategy is free to leave.
+func TestBurstDegradesUnderInjectedStorm(t *testing.T) {
+	s := newTestServer(t)
+	// The test server races virtual time at 5e6x wall speed between
+	// requests (a 100 ms wall gap is ~6 virtual days), so the window must
+	// span months of virtual time — but not more, because Close drains the
+	// window-end event at the same pacing.
+	res, body := do(t, s, "POST", "/v1/faults", map[string]any{
+		"fault": map[string]any{
+			"kind": "throttle-storm", "az": "t1-slow",
+			"durationMS": 1.5e10, "magnitude": 0.6,
+		},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("inject status %d: %s", res.StatusCode, body)
+	}
+	res, body = do(t, s, "POST", "/v1/burst", map[string]any{
+		"strategy": "baseline", "az": "t1-slow", "workload": "math_service", "n": 50,
+		"candidates": []string{"t1-slow"},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("burst status %d: %s", res.StatusCode, body)
+	}
+	var burst struct {
+		Completed int `json:"completed"`
+		Failed    int `json:"failed"`
+	}
+	if err := json.Unmarshal(body, &burst); err != nil {
+		t.Fatal(err)
+	}
+	if burst.Failed == 0 {
+		t.Fatalf("storm caused no failed attempts: %+v", burst)
+	}
+}

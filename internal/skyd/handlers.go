@@ -24,6 +24,8 @@ func (s *Server) routes() {
 	s.handle("GET /v1/perf", "/v1/perf", s.handlePerf)
 	s.handle("POST /v1/burst", "/v1/burst", s.handleBurst)
 	s.handle("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
+	s.handle("POST /v1/faults", "/v1/faults", s.handleInjectFaults)
+	s.handle("GET /v1/faults", "/v1/faults", s.handleListFaults)
 	// Observability endpoints are deliberately uninstrumented: scrapes must
 	// stay readable without perturbing the numbers they report.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -267,11 +269,12 @@ func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
 }
 
 type burstReq struct {
-	Strategy   string   `json:"strategy"` // baseline|regional|retry-slow|focus-fastest|hybrid
-	AZ         string   `json:"az"`       // fixed zone for the pinned strategies
-	Workload   string   `json:"workload"`
-	N          int      `json:"n"`
-	Candidates []string `json:"candidates"`
+	Strategy   string             `json:"strategy"` // a router.Names() entry ("" = hybrid)
+	AZ         string             `json:"az"`       // fixed zone for the pinned strategies
+	Params     map[string]float64 `json:"params"`   // per-strategy scalars (see router.StrategySpec)
+	Workload   string             `json:"workload"`
+	N          int                `json:"n"`
+	Candidates []string           `json:"candidates"`
 }
 
 type burstJS struct {
@@ -289,32 +292,6 @@ type burstJS struct {
 	PerCPU    map[string]int `json:"perCPU"`
 }
 
-func strategyByName(name, az string) (router.Strategy, error) {
-	switch name {
-	case "baseline":
-		if az == "" {
-			return nil, fmt.Errorf("baseline needs an az")
-		}
-		return router.Baseline{AZ: az}, nil
-	case "regional":
-		return router.Regional{}, nil
-	case "retry-slow":
-		if az == "" {
-			return nil, fmt.Errorf("retry-slow needs an az")
-		}
-		return router.RetrySlow{AZ: az}, nil
-	case "focus-fastest":
-		if az == "" {
-			return nil, fmt.Errorf("focus-fastest needs an az")
-		}
-		return router.FocusFastest{AZ: az}, nil
-	case "hybrid", "":
-		return router.Hybrid{}, nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", name)
-	}
-}
-
 func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 	var req burstReq
 	if err := readJSON(r, &req); err != nil {
@@ -326,7 +303,14 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
 		return
 	}
-	strat, err := strategyByName(req.Strategy, req.AZ)
+	if req.Strategy == "" {
+		req.Strategy = "hybrid"
+	}
+	strat, err := router.Build(
+		router.StrategySpec{Name: req.Strategy, AZ: req.AZ, Params: req.Params},
+		router.WithLocator(router.NewZoneLocator(s.rt.Cloud())),
+		router.WithPricer(router.NewZonePricer(s.rt.Cloud())),
+	)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

@@ -31,9 +31,11 @@
 package sky
 
 import (
+	"skyfaas/internal/chaos"
 	"skyfaas/internal/charact"
 	"skyfaas/internal/cloudsim"
 	"skyfaas/internal/core"
+	"skyfaas/internal/faas"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sampler"
 	"skyfaas/internal/sim"
@@ -77,7 +79,64 @@ type (
 	BurstResult = router.BurstResult
 	// PerfModel is the learned per-workload, per-CPU runtime profile.
 	PerfModel = router.PerfModel
+	// StrategySpec names a strategy declaratively for Build.
+	StrategySpec = router.StrategySpec
+	// BuildOption supplies runtime dependencies to Build.
+	BuildOption = router.BuildOption
 )
+
+// BuildStrategy turns a StrategySpec into a Strategy; unknown names yield
+// an error wrapping router.ErrUnknownStrategy listing the valid choices.
+func BuildStrategy(spec StrategySpec, opts ...BuildOption) (Strategy, error) {
+	return router.Build(spec, opts...)
+}
+
+// StrategyNames lists the registered strategy names, sorted.
+func StrategyNames() []string { return router.Names() }
+
+// Resilient routing (graceful degradation under faults).
+type (
+	// Resilience configures retries, hedging, circuit breaking, and
+	// failover for a burst.
+	Resilience = router.Resilience
+	// BreakerConfig tunes the per-AZ circuit breaker.
+	BreakerConfig = router.BreakerConfig
+	// Breaker is a sim-time circuit breaker.
+	Breaker = router.Breaker
+	// InvokeSpec describes a single resilient invocation for faas.Client.Do.
+	InvokeSpec = faas.InvokeSpec
+	// RetryPolicy bounds attempts and shapes backoff.
+	RetryPolicy = faas.RetryPolicy
+	// HedgePolicy arms duplicate requests against stragglers.
+	HedgePolicy = faas.HedgePolicy
+)
+
+// DefaultResilience returns the recommended production posture: breaker,
+// failover, three attempts with jittered backoff.
+func DefaultResilience() *Resilience { return router.DefaultResilience() }
+
+// Fault injection (chaos engineering over the simulated sky).
+type (
+	// Fault is one timed pathology window on one zone.
+	Fault = chaos.Fault
+	// FaultKind names a pathology (outage, throttle-storm, ...).
+	FaultKind = chaos.Kind
+	// Scenario is a named, composable set of fault windows.
+	Scenario = chaos.Scenario
+	// Injector arms fault windows against a runtime's cloud.
+	Injector = chaos.Injector
+	// FaultStatus describes one scheduled fault window.
+	FaultStatus = chaos.Status
+)
+
+// FaultKinds lists every supported fault kind, in stable order.
+func FaultKinds() []FaultKind { return chaos.Kinds() }
+
+// ScenarioByName builds a canned chaos scenario targeting az.
+func ScenarioByName(name, az string) (Scenario, bool) { return chaos.ScenarioByName(name, az) }
+
+// ScenarioNames lists the canned chaos scenario names, sorted.
+func ScenarioNames() []string { return chaos.ScenarioNames() }
 
 // Characterization machinery (RQ-1/RQ-2).
 type (

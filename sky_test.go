@@ -104,3 +104,78 @@ func TestPublicQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicChaosQuickstart exercises the fault-injection and resilient
+// routing surface through the facade: arm a throttle storm via the
+// injector, then route a burst with the default resilience posture and
+// watch it fail over to the healthy zone.
+func TestPublicChaosQuickstart(t *testing.T) {
+	catalog := []RegionSpec{{
+		Provider: DefaultCatalog()[0].Provider, // AWS
+		Name:     "demo-region",
+		Loc:      geo.Coord{Lat: 40, Lon: -80},
+		AZs: []AZSpec{
+			{Name: "demo-a", PoolFIs: 2048,
+				Mix: map[cpu.Kind]float64{cpu.Xeon25: 0.6, cpu.Xeon30: 0.4}},
+			{Name: "demo-b", PoolFIs: 2048,
+				Mix: map[cpu.Kind]float64{cpu.Xeon25: 0.7, cpu.EPYC: 0.3}},
+		},
+	}}
+	rt, err := New(Config{
+		Seed:    7,
+		Catalog: catalog,
+		SamplerCfg: SamplerConfig{
+			Endpoints: 30, PollSize: 84, Branch: 4,
+			Sleep: 100 * time.Millisecond, InterPollPause: 500 * time.Millisecond,
+		},
+		SkipMesh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := BuildStrategy(StrategySpec{Name: "hybrid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(StrategyNames()) != 7 || len(FaultKinds()) != 5 || len(ScenarioNames()) != 3 {
+		t.Fatalf("registry sizes: strategies=%d kinds=%d scenarios=%d",
+			len(StrategyNames()), len(FaultKinds()), len(ScenarioNames()))
+	}
+	azs := []string{"demo-a", "demo-b"}
+	err = rt.Do(func(p *sim.Proc) error {
+		if _, err := rt.Refresh(p, azs, 3); err != nil {
+			return err
+		}
+		if _, err := rt.ProfileWorkloads(p, []workload.ID{workload.Zipper}, azs, 450); err != nil {
+			return err
+		}
+		sc, ok := ScenarioByName("throttle-storm", "demo-a")
+		if !ok {
+			t.Error("throttle-storm scenario missing")
+			return nil
+		}
+		if _, err := rt.Chaos().InjectScenario(sc); err != nil {
+			return err
+		}
+		res, err := rt.Run(p, BurstSpec{
+			Strategy:   strat,
+			Workload:   workload.Zipper,
+			N:          100,
+			Candidates: azs,
+			Resilience: DefaultResilience(),
+		})
+		if err != nil {
+			return err
+		}
+		if res.SuccessRate() < 0.95 {
+			t.Errorf("resilient success rate = %.2f under storm", res.SuccessRate())
+		}
+		if res.Failovers == 0 {
+			t.Error("no failover away from the stormed zone")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
