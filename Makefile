@@ -5,18 +5,23 @@ GO ?= go
 # Concurrency-sensitive packages that must stay race-clean. `make ci` and
 # .github/workflows/ci.yml both run exactly these targets — keep them in
 # sync so local runs and CI can't drift.
-RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/
+RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/
 
-.PHONY: all build vet fmt-check lint test race ci smoke-ex6 bench reproduce serve clean
+.PHONY: all build vet fmt-check lint test race ci smoke-ex6 smoke-ex7 bench reproduce serve clean
 
 all: build vet lint test
 
-ci: build vet fmt-check lint test race smoke-ex6
+ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7
 
 # One reduced EX-6 pass: proves the chaos layer, resilient routing, and the
 # strategy registry compose end to end outside the test harness.
 smoke-ex6:
 	$(GO) run ./cmd/skybench -ex ex6 -scale reduced
+
+# One reduced EX-7 pass: proves the drift detector, refresh scheduler, and
+# budget governor compose end to end outside the test harness.
+smoke-ex7:
+	$(GO) run ./cmd/skybench -ex ex7 -scale reduced
 
 build:
 	$(GO) build ./...

@@ -30,10 +30,159 @@ func main() {
 	}
 }
 
+// benchOpts carries the parsed flags into each experiment runner.
+type benchOpts struct {
+	seed          uint64
+	reduced       bool
+	profileRuns   int
+	days          int
+	csvDir        string
+	ex6Strategies string
+}
+
+// csvWriter is the piece of each result the -csvdir flag consumes.
+type csvWriter interface{ WriteCSV(dir string) error }
+
+// renderCSV renders a result and optionally writes its dataset.
+func renderCSV(o benchOpts, res interface {
+	csvWriter
+	Render() string
+}, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	if o.csvDir != "" {
+		if err := res.WriteCSV(o.csvDir); err != nil {
+			return "", err
+		}
+	}
+	return res.Render(), nil
+}
+
+// experiment is one runnable entry. The registry below is the single source
+// of truth: the -ex help text, the "all" set, and the dispatch loop are all
+// derived from it, so a new experiment registers itself exactly once.
+type experiment struct {
+	name string
+	run  func(o benchOpts) (string, error)
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"table1", func(benchOpts) (string, error) {
+			t := tablefmt.New("Function", "vCPUs", "BaseMS", "Description")
+			for _, s := range workload.All() {
+				t.Row(s.Name, s.VCPUs, s.BaseMS, s.Description)
+			}
+			return "Table 1 — workload catalog\n" + t.String(), nil
+		}},
+		{"ex1", func(o benchOpts) (string, error) {
+			cfg := experiments.EX1Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX1(cfg)
+			return renderCSV(o, res, err)
+		}},
+		{"ex2", func(o benchOpts) (string, error) {
+			cfg := experiments.EX2Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX2(cfg)
+			return renderCSV(o, res, err)
+		}},
+		{"ex3", func(o benchOpts) (string, error) {
+			cfg := experiments.EX3Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX3(cfg)
+			return renderCSV(o, res, err)
+		}},
+		{"ex4", func(o benchOpts) (string, error) {
+			cfg := experiments.EX4Config{Seed: o.seed}
+			if o.days > 0 {
+				cfg.Rounds = o.days
+			}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX4(cfg)
+			return renderCSV(o, res, err)
+		}},
+		{"ex5", func(o benchOpts) (string, error) {
+			cfg := experiments.EX5Config{Seed: o.seed}
+			if o.days > 0 {
+				cfg.Days = o.days
+			}
+			if o.profileRuns > 0 {
+				cfg.ProfileRuns = o.profileRuns
+			}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX5(cfg)
+			return renderCSV(o, res, err)
+		}},
+		{"ex6", func(o benchOpts) (string, error) {
+			cfg := experiments.EX6Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			if o.ex6Strategies != "" {
+				cfg.Arms = experiments.DefaultEX6Arms()
+				for _, name := range strings.Split(o.ex6Strategies, ",") {
+					name = strings.TrimSpace(name)
+					// Validate up front so a typo fails with the registry's
+					// name listing instead of mid-experiment; the placeholder
+					// AZ satisfies pinned strategies and is re-resolved to the
+					// chaos target inside each cell.
+					if _, err := router.Build(router.StrategySpec{Name: name, AZ: "us-west-1b"}); err != nil {
+						return "", err
+					}
+					cfg.Arms = append(cfg.Arms, experiments.EX6Arm{
+						Label:      name,
+						Strategy:   router.StrategySpec{Name: name},
+						Resilience: router.DefaultResilience(),
+					})
+				}
+			}
+			res, err := experiments.RunEX6(cfg)
+			return renderCSV(o, res, err)
+		}},
+		{"ex7", func(o benchOpts) (string, error) {
+			cfg := experiments.EX7Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX7(cfg)
+			return renderCSV(o, res, err)
+		}},
+	}
+}
+
+// experimentNames lists the registry in run order.
+func experimentNames() []string {
+	exps := registry()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.name
+	}
+	return names
+}
+
+// exUsage derives the -ex flag's help text from the registry, so the two
+// can never drift apart again.
+func exUsage() string {
+	return "experiments to run: all | " + strings.Join(experimentNames(), ",")
+}
+
 func run(args []string) error {
+	names := experimentNames()
 	fs := flag.NewFlagSet("skybench", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	exFlag := fs.String("ex", "all", "experiments to run: all | table1,ex1,ex2,ex3,ex4,ex5,ex6")
+	exFlag := fs.String("ex", "all", exUsage())
 	ex6Strategies := fs.String("ex6-strategies", "", "extra EX-6 arms: comma-separated strategy names (see router.Names), run with default resilience")
 	seed := fs.Uint64("seed", 42, "simulation seed (equal seeds replay exactly)")
 	scale := fs.String("scale", "full", "full | reduced")
@@ -44,179 +193,42 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reduced := *scale == "reduced"
 	if *scale != "full" && *scale != "reduced" {
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
 
+	valid := map[string]bool{}
+	for _, name := range names {
+		valid[name] = true
+	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exFlag, ",") {
-		want[strings.TrimSpace(name)] = true
+		name = strings.TrimSpace(name)
+		if name != "all" && !valid[name] {
+			return fmt.Errorf("unknown experiment %q (valid: all, %s)", name, strings.Join(names, ", "))
+		}
+		want[name] = true
 	}
 	all := want["all"]
 
-	runOne := func(name string, fn func() (string, error)) error {
-		if !all && !want[name] {
-			return nil
+	o := benchOpts{
+		seed:          *seed,
+		reduced:       *scale == "reduced",
+		profileRuns:   *profileRuns,
+		days:          *days,
+		csvDir:        *csvDir,
+		ex6Strategies: *ex6Strategies,
+	}
+	for _, e := range registry() {
+		if !all && !want[e.name] {
+			continue
 		}
 		start := time.Now()
-		out, err := fn()
+		out, err := e.run(o)
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", e.name, err)
 		}
-		fmt.Printf("==== %s (%s, seed %d, %.1fs) ====\n%s\n", name, *scale, *seed, time.Since(start).Seconds(), out)
-		return nil
-	}
-
-	if err := runOne("table1", func() (string, error) {
-		t := tablefmt.New("Function", "vCPUs", "BaseMS", "Description")
-		for _, s := range workload.All() {
-			t.Row(s.Name, s.VCPUs, s.BaseMS, s.Description)
-		}
-		return "Table 1 — workload catalog\n" + t.String(), nil
-	}); err != nil {
-		return err
-	}
-
-	if err := runOne("ex1", func() (string, error) {
-		cfg := experiments.EX1Config{Seed: *seed}
-		if reduced {
-			cfg = cfg.Reduced()
-		}
-		res, err := experiments.RunEX1(cfg)
-		if err != nil {
-			return "", err
-		}
-		if *csvDir != "" {
-			if err := res.WriteCSV(*csvDir); err != nil {
-				return "", err
-			}
-		}
-		return res.Render(), nil
-	}); err != nil {
-		return err
-	}
-
-	if err := runOne("ex2", func() (string, error) {
-		cfg := experiments.EX2Config{Seed: *seed}
-		if reduced {
-			cfg = cfg.Reduced()
-		}
-		res, err := experiments.RunEX2(cfg)
-		if err != nil {
-			return "", err
-		}
-		if *csvDir != "" {
-			if err := res.WriteCSV(*csvDir); err != nil {
-				return "", err
-			}
-		}
-		return res.Render(), nil
-	}); err != nil {
-		return err
-	}
-
-	if err := runOne("ex3", func() (string, error) {
-		cfg := experiments.EX3Config{Seed: *seed}
-		if reduced {
-			cfg = cfg.Reduced()
-		}
-		res, err := experiments.RunEX3(cfg)
-		if err != nil {
-			return "", err
-		}
-		if *csvDir != "" {
-			if err := res.WriteCSV(*csvDir); err != nil {
-				return "", err
-			}
-		}
-		return res.Render(), nil
-	}); err != nil {
-		return err
-	}
-
-	if err := runOne("ex4", func() (string, error) {
-		cfg := experiments.EX4Config{Seed: *seed}
-		if *days > 0 {
-			cfg.Rounds = *days
-		}
-		if reduced {
-			cfg = cfg.Reduced()
-		}
-		res, err := experiments.RunEX4(cfg)
-		if err != nil {
-			return "", err
-		}
-		if *csvDir != "" {
-			if err := res.WriteCSV(*csvDir); err != nil {
-				return "", err
-			}
-		}
-		return res.Render(), nil
-	}); err != nil {
-		return err
-	}
-
-	if err := runOne("ex5", func() (string, error) {
-		cfg := experiments.EX5Config{Seed: *seed}
-		if *days > 0 {
-			cfg.Days = *days
-		}
-		if *profileRuns > 0 {
-			cfg.ProfileRuns = *profileRuns
-		}
-		if reduced {
-			cfg = cfg.Reduced()
-		}
-		res, err := experiments.RunEX5(cfg)
-		if err != nil {
-			return "", err
-		}
-		if *csvDir != "" {
-			if err := res.WriteCSV(*csvDir); err != nil {
-				return "", err
-			}
-		}
-		return res.Render(), nil
-	}); err != nil {
-		return err
-	}
-
-	if err := runOne("ex6", func() (string, error) {
-		cfg := experiments.EX6Config{Seed: *seed}
-		if reduced {
-			cfg = cfg.Reduced()
-		}
-		if *ex6Strategies != "" {
-			cfg.Arms = experiments.DefaultEX6Arms()
-			for _, name := range strings.Split(*ex6Strategies, ",") {
-				name = strings.TrimSpace(name)
-				// Validate up front so a typo fails with the registry's
-				// name listing instead of mid-experiment; the placeholder
-				// AZ satisfies pinned strategies and is re-resolved to the
-				// chaos target inside each cell.
-				if _, err := router.Build(router.StrategySpec{Name: name, AZ: "us-west-1b"}); err != nil {
-					return "", err
-				}
-				cfg.Arms = append(cfg.Arms, experiments.EX6Arm{
-					Label:      name,
-					Strategy:   router.StrategySpec{Name: name},
-					Resilience: router.DefaultResilience(),
-				})
-			}
-		}
-		res, err := experiments.RunEX6(cfg)
-		if err != nil {
-			return "", err
-		}
-		if *csvDir != "" {
-			if err := res.WriteCSV(*csvDir); err != nil {
-				return "", err
-			}
-		}
-		return res.Render(), nil
-	}); err != nil {
-		return err
+		fmt.Printf("==== %s (%s, seed %d, %.1fs) ====\n%s\n", e.name, *scale, *seed, time.Since(start).Seconds(), out)
 	}
 
 	if *dumpMetrics {

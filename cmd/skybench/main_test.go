@@ -74,14 +74,69 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
-func TestRunUnknownExperimentIsNoop(t *testing.T) {
-	out, err := captureStdout(t, func() error {
+func TestRunUnknownExperimentErrors(t *testing.T) {
+	_, err := captureStdout(t, func() error {
 		return run([]string{"-ex", "ex99"})
+	})
+	if err == nil {
+		t.Fatal("unknown experiment accepted silently")
+	}
+	// The error names every valid choice, derived from the registry.
+	for _, name := range experimentNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %s", err, name)
+		}
+	}
+}
+
+// TestRegistryAgreesWithFlagText is the drift guard the -ex help string
+// used to lack: the flag text, the registry, and the valid-name set must
+// all come from the same list.
+func TestRegistryAgreesWithFlagText(t *testing.T) {
+	names := experimentNames()
+	if len(names) == 0 {
+		t.Fatal("empty experiment registry")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate registry entry %s", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"table1", "ex1", "ex6", "ex7"} {
+		if !seen[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+	if seen["all"] {
+		t.Error("registry must not claim the reserved name \"all\"")
+	}
+
+	// The -ex usage string is derived from the registry and must list
+	// every experiment exactly once, in run order.
+	usage := exUsage()
+	if !strings.Contains(usage, "all | "+strings.Join(names, ",")) {
+		t.Errorf("-ex usage %q missing derived list", usage)
+	}
+}
+
+// TestRunEx7Dispatch runs the newest registry entry end to end through the
+// CLI: the reduced EX-7 must render its table and write its dataset.
+func TestRunEx7Dispatch(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-ex", "ex7", "-scale", "reduced", "-csvdir", dir})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(out) != "" {
-		t.Errorf("unknown experiment produced output: %q", out)
+	for _, want := range []string{"EX-7", "static-once", "periodic", "drift", "headline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ex7_refresh.csv")); err != nil {
+		t.Errorf("csv not written: %v", err)
 	}
 }

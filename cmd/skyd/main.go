@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"skyfaas/internal/core"
+	"skyfaas/internal/refresh"
 	"skyfaas/internal/skyd"
 )
 
@@ -41,6 +42,9 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	speedup := fs.Float64("speedup", 1000, "virtual seconds per wall second")
 	fullMesh := fs.Bool("full-mesh", false, "deploy the full 698-endpoint mesh (slower startup)")
+	refreshMode := fs.String("refresh", "", "characterization maintenance mode: off, age, or drift (empty = disabled)")
+	refreshRate := fs.Float64("refresh-budget-rate", 0, "refresh budget refill, USD per virtual hour (0 = default)")
+	refreshCap := fs.Float64("refresh-budget-cap", 0, "refresh budget ceiling, USD (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +53,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	server, err := skyd.New(skyd.Config{Runtime: rt, Speedup: *speedup})
+	skydCfg := skyd.Config{Runtime: rt, Speedup: *speedup}
+	if *refreshMode != "" {
+		// Drift scoring needs the passive collector routed traffic feeds.
+		rt.EnablePassiveCharacterization(0)
+		skydCfg.Refresh = &refresh.Config{
+			Mode:        refresh.Mode(*refreshMode),
+			RatePerHour: *refreshRate,
+			Cap:         *refreshCap,
+		}
+	}
+	server, err := skyd.New(skydCfg)
 	if err != nil {
 		return err
 	}

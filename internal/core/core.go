@@ -22,6 +22,7 @@ import (
 	"skyfaas/internal/geo"
 	"skyfaas/internal/mesh"
 	"skyfaas/internal/metrics"
+	"skyfaas/internal/refresh"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sampler"
 	"skyfaas/internal/sim"
@@ -77,17 +78,18 @@ func (c Config) withDefaults() Config {
 
 // Runtime is a fully assembled serverless sky computing system.
 type Runtime struct {
-	env     *sim.Env
-	cloud   *cloudsim.Cloud
-	client  *faas.Client
-	mesh    *mesh.Mesh
-	sampler *sampler.Sampler
-	store   *charact.Store
-	perf    *router.PerfModel
-	router  *router.Router
-	chaos   *chaos.Injector
-	metrics *metrics.Registry
-	sampled map[string]bool // zones with sampling endpoints deployed
+	env       *sim.Env
+	cloud     *cloudsim.Cloud
+	client    *faas.Client
+	mesh      *mesh.Mesh
+	sampler   *sampler.Sampler
+	store     *charact.Store
+	perf      *router.PerfModel
+	router    *router.Router
+	chaos     *chaos.Injector
+	metrics   *metrics.Registry
+	sampled   map[string]bool // zones with sampling endpoints deployed
+	refresher *refresh.Maintainer
 }
 
 // New builds a Runtime (deploying the mesh unless cfg.SkipMesh).
@@ -229,6 +231,38 @@ func (rt *Runtime) EnablePassiveCharacterization(window time.Duration) *charact.
 	rt.router.UsePassive(p)
 	return p
 }
+
+// runtimeResampler adapts the runtime's sampler to the refresh.Resampler
+// surface: ensure sampling endpoints exist, then run the cheap quick mode.
+// The maintainer stores the result and accounts the spend itself.
+type runtimeResampler struct{ rt *Runtime }
+
+func (r runtimeResampler) Resample(p *sim.Proc, az string, polls int) (charact.Characterization, error) {
+	if err := r.rt.EnsureSamplerEndpoints(az); err != nil {
+		return charact.Characterization{}, err
+	}
+	ch, _, err := r.rt.sampler.CharacterizeQuick(p, az, polls)
+	return ch, err
+}
+
+// EnableRefresh assembles the continuous characterization-maintenance loop
+// over this runtime: drift detection against the passive collector (attach
+// one first via EnablePassiveCharacterization for drift mode to gain
+// confidence), budgeted re-sampling through the runtime's sampler, and the
+// router's traffic feed for urgency weighting. The returned maintainer is
+// not started; call Start to arm its control loop.
+func (rt *Runtime) EnableRefresh(cfg refresh.Config) (*refresh.Maintainer, error) {
+	m, err := refresh.New(rt.env, cfg, rt.store, rt.router.Passive(), runtimeResampler{rt}, rt.metrics)
+	if err != nil {
+		return nil, err
+	}
+	rt.router.UseTrafficSink(m.ObserveTraffic)
+	rt.refresher = m
+	return m, nil
+}
+
+// Refresher returns the maintenance loop (nil until EnableRefresh).
+func (rt *Runtime) Refresher() *refresh.Maintainer { return rt.refresher }
 
 // RefreshPassive updates the store from passive observations wherever at
 // least minSamples instances were seen within the collector window. It

@@ -12,6 +12,7 @@ var nodetermScope = []string{
 	"internal/faas",
 	"internal/router",
 	"internal/experiments",
+	"internal/refresh",
 }
 
 // nodetermTimeFuncs are the wall-clock entry points of package time that

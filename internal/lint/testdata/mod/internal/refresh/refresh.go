@@ -1,0 +1,18 @@
+// Package refresh is a skylint fixture: the characterization maintenance
+// loop must be a pure function of sim time — urgency, cooldowns, and budget
+// accrual all anchor to the sim.Env virtual clock (nodeterm).
+package refresh
+
+import "time"
+
+// Staleness ages a characterization off the wall clock — forbidden: age is
+// sim-time elapsed since the stored Taken stamp.
+func Staleness(taken time.Time) time.Duration {
+	return time.Since(taken) //want nodeterm
+}
+
+// NextTick schedules the control loop with a host timer — forbidden: ticks
+// belong on the simulation event queue via Env.Schedule.
+func NextTick(fire func()) {
+	time.AfterFunc(time.Minute, fire) //want nodeterm
+}

@@ -1,0 +1,85 @@
+package refresh
+
+import "time"
+
+// Budget is the refresh scheduler's cost governor: a token bucket of
+// sampling dollars accrued over *simulated* time. Re-characterization polls
+// are real spend (every poll fans ~100 requests through the zone), so the
+// maintenance loop must never be allowed to out-spend the traffic it
+// protects. The bucket refills at RatePerHour up to Cap; a refresh may start
+// whenever the balance is positive and debits its actual cost afterwards
+// (driving the balance below zero at most once — the bucket must climb back
+// above zero before the next refresh is admitted).
+//
+// All methods take the current virtual time explicitly; the governor holds
+// no clock of its own, which keeps it a pure function of the simulation.
+type Budget struct {
+	ratePerHour float64
+	cap         float64
+	balance     float64
+	last        time.Time
+	spent       float64
+}
+
+// NewBudget returns a governor refilling at ratePerHour USD up to cap,
+// starting full at now.
+func NewBudget(ratePerHour, cap float64, now time.Time) *Budget {
+	return &Budget{
+		ratePerHour: ratePerHour,
+		cap:         cap,
+		balance:     cap,
+		last:        now,
+	}
+}
+
+// accrue folds elapsed virtual time into the balance.
+func (b *Budget) accrue(now time.Time) {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.balance += b.ratePerHour * elapsed.Hours()
+		if b.balance > b.cap {
+			b.balance = b.cap
+		}
+	}
+	b.last = now
+}
+
+// Allows reports whether a refresh may start at now: the accrued balance
+// must be positive.
+func (b *Budget) Allows(now time.Time) bool {
+	b.accrue(now)
+	return b.balance > 0
+}
+
+// Debit charges an actual refresh cost against the bucket.
+func (b *Budget) Debit(now time.Time, usd float64) {
+	b.accrue(now)
+	b.balance -= usd
+	b.spent += usd
+}
+
+// Balance returns the accrued balance at now (possibly negative right after
+// an expensive refresh).
+func (b *Budget) Balance(now time.Time) float64 {
+	b.accrue(now)
+	return b.balance
+}
+
+// Spent returns the total dollars debited over the governor's lifetime.
+func (b *Budget) Spent() float64 { return b.spent }
+
+// RatePerHour returns the refill rate.
+func (b *Budget) RatePerHour() float64 { return b.ratePerHour }
+
+// Cap returns the bucket ceiling.
+func (b *Budget) Cap() float64 { return b.cap }
+
+// Retune changes the refill rate and cap in place (the skyd admin surface).
+// The balance is clamped to the new cap; accrued spend is preserved.
+func (b *Budget) Retune(now time.Time, ratePerHour, cap float64) {
+	b.accrue(now)
+	b.ratePerHour = ratePerHour
+	b.cap = cap
+	if b.balance > b.cap {
+		b.balance = b.cap
+	}
+}

@@ -1,0 +1,75 @@
+package refresh
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBudgetStartsFullAndAccrues(t *testing.T) {
+	b := NewBudget(0.60, 1.00, epoch)
+	if got := b.Balance(epoch); !almost(got, 1.00) {
+		t.Fatalf("initial balance = %v, want full cap 1.00", got)
+	}
+	// Spend it all, then wait half an hour: 0.60/h * 0.5h = 0.30 accrued.
+	b.Debit(epoch, 1.00)
+	if got := b.Balance(epoch); !almost(got, 0) {
+		t.Fatalf("balance after full debit = %v, want 0", got)
+	}
+	at := epoch.Add(30 * time.Minute)
+	if got := b.Balance(at); !almost(got, 0.30) {
+		t.Fatalf("balance after 30m = %v, want 0.30", got)
+	}
+}
+
+func TestBudgetCapClamps(t *testing.T) {
+	b := NewBudget(10.0, 0.25, epoch)
+	if got := b.Balance(epoch.Add(5 * time.Hour)); !almost(got, 0.25) {
+		t.Fatalf("balance = %v, want clamped to cap 0.25", got)
+	}
+}
+
+func TestBudgetAllowsAndRecovery(t *testing.T) {
+	b := NewBudget(1.0, 0.10, epoch)
+	if !b.Allows(epoch) {
+		t.Fatal("full bucket must allow a refresh")
+	}
+	// An expensive refresh may overshoot the balance once...
+	b.Debit(epoch, 0.50)
+	if got := b.Balance(epoch); !almost(got, -0.40) {
+		t.Fatalf("balance = %v, want -0.40 after overshoot", got)
+	}
+	if b.Allows(epoch.Add(time.Minute)) {
+		t.Fatal("negative balance must block the next refresh")
+	}
+	// ...and must climb back above zero before the next one is admitted.
+	if !b.Allows(epoch.Add(30 * time.Minute)) {
+		t.Fatal("recovered balance must allow again")
+	}
+	if got := b.Spent(); !almost(got, 0.50) {
+		t.Fatalf("spent = %v, want 0.50", got)
+	}
+}
+
+func TestBudgetRetune(t *testing.T) {
+	b := NewBudget(1.0, 2.0, epoch)
+	b.Debit(epoch, 0.75)
+	b.Retune(epoch, 0.10, 1.0)
+	if got := b.RatePerHour(); !almost(got, 0.10) {
+		t.Fatalf("rate = %v, want 0.10", got)
+	}
+	if got := b.Cap(); !almost(got, 1.0) {
+		t.Fatalf("cap = %v, want 1.0", got)
+	}
+	// Balance 1.25 clamps to the new cap; spend history survives.
+	if got := b.Balance(epoch); !almost(got, 1.0) {
+		t.Fatalf("balance = %v, want clamped 1.0", got)
+	}
+	if got := b.Spent(); !almost(got, 0.75) {
+		t.Fatalf("spent = %v, want preserved 0.75", got)
+	}
+}

@@ -1,0 +1,111 @@
+package refresh
+
+import (
+	"time"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/cpu"
+)
+
+// Drift detection: the paper's §3.5 evaluation (EX-4) shows per-AZ CPU
+// characterizations decay within hours, and the chaos drift-burst fault
+// makes the decay violent. The detector compares what routed traffic has
+// *actually* been landing on (the passive collector's sliding window) with
+// what the store still *believes* (the last active characterization) and
+// scores the divergence, so the scheduler can re-sample exactly the zones
+// whose model has rotted — instead of re-sampling everything on a timer.
+
+// DriftScore is one zone's model-vs-reality divergence at a point in time.
+type DriftScore struct {
+	AZ string
+	// TV is the total-variation distance between the passive-window
+	// distribution and the stored characterization, in [0, 1]
+	// (charact.APE / 100). Zero when not Confident.
+	TV float64
+	// Chi2 is the chi-square statistic of the passive counts against the
+	// stored distribution — a sample-size-aware companion to TV that grows
+	// with both divergence and evidence. Zero when not Confident.
+	Chi2 float64
+	// Samples is the live passive observation count backing the score.
+	Samples int
+	// Confident reports whether the score is trustworthy: the zone has a
+	// stored characterization to compare against AND at least MinSamples
+	// live passive observations. A zone whose passive window has fully
+	// expired is not confidently drifted — it is merely unobserved.
+	Confident bool
+}
+
+// Detector scores per-zone drift from a passive collector and a store.
+type Detector struct {
+	passive *charact.Passive
+	store   *charact.Store
+	// minSamples is the live-observation floor below which no confident
+	// score is emitted.
+	minSamples int
+}
+
+// NewDetector builds a detector; minSamples <= 0 defaults to 25.
+func NewDetector(passive *charact.Passive, store *charact.Store, minSamples int) *Detector {
+	if minSamples <= 0 {
+		minSamples = 25
+	}
+	return &Detector{passive: passive, store: store, minSamples: minSamples}
+}
+
+// MinSamples returns the confidence floor.
+func (d *Detector) MinSamples() int { return d.minSamples }
+
+// Score computes az's drift score at now. Expired passive observations are
+// aged out first (the collector window slides with now), so a zone that
+// stopped carrying traffic loses confidence rather than reporting a stale
+// divergence forever.
+func (d *Detector) Score(az string, now time.Time) DriftScore {
+	score := DriftScore{AZ: az}
+	if d.passive == nil || d.store == nil {
+		return score
+	}
+	stored, ok := d.store.Last(az)
+	if !ok {
+		score.Samples = d.passive.Samples(az, now)
+		return score
+	}
+	obs, ok := d.passive.Characterization(az, now, d.minSamples)
+	if !ok {
+		score.Samples = d.passive.Samples(az, now)
+		return score
+	}
+	score.Samples = obs.Samples
+	score.Confident = true
+	score.TV = charact.APE(obs.Dist(), stored.Dist()) / 100
+	score.Chi2 = chiSquare(obs.Counts, stored.Dist())
+	return score
+}
+
+// chiSquare computes the chi-square statistic of observed counts against an
+// expected distribution, iterating in catalogue order so floating-point
+// rounding is reproducible. Kinds the expected distribution has never seen
+// get a small floor share instead of a division by zero — an observation on
+// a CPU the model says does not exist is the strongest drift evidence there
+// is, and the floor turns it into a large, finite contribution.
+func chiSquare(obs charact.Counts, expected charact.Dist) float64 {
+	const floorShare = 1e-3
+	total := obs.Total()
+	if total == 0 {
+		return 0
+	}
+	var chi2 float64
+	for _, k := range cpu.Kinds() {
+		share := expected.Share(k)
+		n := float64(obs[k])
+		if share <= 0 {
+			if n == 0 {
+				continue
+			}
+			share = floorShare
+		}
+		exp := share * float64(total)
+		diff := n - exp
+		chi2 += diff * diff / exp
+	}
+	return chi2
+}

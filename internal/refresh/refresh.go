@@ -1,0 +1,561 @@
+// Package refresh is the sky's continuous characterization-maintenance
+// subsystem: a closed control loop between the passive observations routed
+// traffic produces and the active sampling spend that keeps the
+// characterization store honest.
+//
+// The paper samples each zone once and routes on the result; its own EX-4
+// evaluation shows that model rots within hours. This package closes the
+// loop. A Detector scores per-zone drift (passive-window CPU mix vs the
+// stored characterization, total-variation + chi-square). A Maintainer
+// keeps a priority queue over maintained zones ordered by a composite
+// urgency score — staleness age, drift score, routed traffic share — and
+// issues budgeted re-characterization polls through the sampler, governed
+// by a token-bucket Budget (USD per sim-hour with a cap, plus a per-zone
+// cooldown) so maintenance can never dominate spend. The loop itself is a
+// self-rescheduling sim.Env tick: deterministic under virtual time,
+// replayable from the seed, and stoppable from another OS thread (skyd's
+// Close path) via a single atomic flag.
+//
+// Concurrency: everything except Stop/Start's running flag is owned by the
+// simulation goroutine. Ticks run as Env callbacks, refreshes as Env
+// processes, and admin reads (Snapshot) or writes (SetMode, RetuneBudget,
+// Force) must be issued from inside the simulation — skyd routes them
+// through its Exec command queue.
+package refresh
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"skyfaas/internal/charact"
+	"skyfaas/internal/metrics"
+	"skyfaas/internal/sim"
+)
+
+// Mode selects the refresh trigger policy.
+type Mode string
+
+// The supported maintenance modes.
+const (
+	// ModeOff disables automatic refresh; only Force re-samples.
+	ModeOff Mode = "off"
+	// ModeAge re-samples every maintained zone whose characterization is
+	// older than MaxAge — the naive periodic policy.
+	ModeAge Mode = "age"
+	// ModeDrift re-samples zones whose passive traffic confidently
+	// diverges from the stored characterization (with MaxAge kept as a
+	// backstop for zones too idle to observe passively).
+	ModeDrift Mode = "drift"
+)
+
+// Modes lists the supported modes in stable order.
+func Modes() []Mode { return []Mode{ModeOff, ModeAge, ModeDrift} }
+
+// ValidMode reports whether m names a supported mode.
+func ValidMode(m Mode) bool {
+	for _, k := range Modes() {
+		if m == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Reason labels why a zone was (or would be) refreshed.
+type Reason string
+
+// Refresh reasons, also used as metric labels.
+const (
+	ReasonUnknown Reason = "unknown" // never characterized
+	ReasonAge     Reason = "age"     // older than MaxAge
+	ReasonDrift   Reason = "drift"   // confident divergence over threshold
+	ReasonForced  Reason = "forced"  // operator-initiated
+)
+
+// Weights shape the composite urgency score.
+type Weights struct {
+	// Age weights normalized staleness (age / MaxAge).
+	Age float64
+	// Drift weights normalized divergence (TV / DriftThreshold).
+	Drift float64
+	// Traffic weights the zone's share of routed completions — a drifted
+	// zone carrying most of the traffic matters more than a drifted
+	// backwater.
+	Traffic float64
+}
+
+func (w Weights) withDefaults() Weights {
+	if w.Age == 0 && w.Drift == 0 && w.Traffic == 0 {
+		return Weights{Age: 1, Drift: 1, Traffic: 0.5}
+	}
+	return w
+}
+
+// Config tunes a Maintainer. Zero fields take defaults.
+type Config struct {
+	// Zones restricts maintenance to a fixed set. Empty means dynamic:
+	// every zone in the store plus every zone that has carried routed
+	// traffic.
+	Zones []string
+	// Mode selects the trigger policy (default ModeDrift).
+	Mode Mode
+	// TickEvery is the control-loop cadence in virtual time (default 1m).
+	TickEvery time.Duration
+	// Polls is the re-characterization depth per refresh (default 3 — the
+	// cheap quick mode, not a saturation run).
+	Polls int
+	// MaxAge is the staleness trigger (default 1h). In ModeDrift it is the
+	// backstop for zones with too little traffic to observe.
+	MaxAge time.Duration
+	// DriftThreshold is the total-variation distance (0..1) past which a
+	// confident score marks the zone drifted (default 0.10).
+	DriftThreshold float64
+	// MinSamples is the live passive observation floor for a confident
+	// drift score (default 25).
+	MinSamples int
+	// RatePerHour refills the cost budget, USD per sim-hour (default 0.50).
+	RatePerHour float64
+	// Cap bounds the accumulated budget in USD (default 1.00).
+	Cap float64
+	// Cooldown is the minimum gap between two refreshes of the same zone
+	// (default 15m), so one noisy zone cannot monopolize the budget.
+	Cooldown time.Duration
+	// Weights shape the urgency ordering (default 1/1/0.5).
+	Weights Weights
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeDrift
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = time.Minute
+	}
+	if c.Polls == 0 {
+		c.Polls = 3
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = time.Hour
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.10
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 25
+	}
+	if c.RatePerHour == 0 {
+		c.RatePerHour = 0.50
+	}
+	if c.Cap == 0 {
+		c.Cap = 1.00
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 15 * time.Minute
+	}
+	c.Weights = c.Weights.withDefaults()
+	return c
+}
+
+// Resampler issues one budgeted re-characterization of a zone. Implemented
+// by core.Runtime (ensure sampling endpoints, then CharacterizeQuick); the
+// Maintainer stores the result itself.
+type Resampler interface {
+	Resample(p *sim.Proc, az string, polls int) (charact.Characterization, error)
+}
+
+// ZoneStatus is one maintained zone's state at snapshot time.
+type ZoneStatus struct {
+	AZ string
+	// Known/Fresh/Age mirror the store's view.
+	Known bool
+	Fresh bool
+	Age   time.Duration
+	// Drift is the detector's current score.
+	Drift DriftScore
+	// TrafficShare is the zone's fraction of observed routed completions.
+	TrafficShare float64
+	// Urgency is the composite priority score.
+	Urgency float64
+	// Due reports whether the current mode would refresh the zone now
+	// (before budget and cooldown gating).
+	Due bool
+	// Reason is the trigger a due zone would be refreshed under.
+	Reason Reason
+	// LastRefresh is when the maintainer last re-sampled the zone (zero if
+	// never).
+	LastRefresh time.Time
+}
+
+// Status is the maintainer's full snapshot.
+type Status struct {
+	Mode            Mode
+	BudgetBalance   float64
+	BudgetRate      float64
+	BudgetCap       float64
+	SpentUSD        float64
+	Refreshes       int
+	Forced          int
+	SkippedBudget   int
+	SkippedCooldown int
+	Zones           []ZoneStatus
+}
+
+// Maintainer drives continuous characterization maintenance over one
+// runtime's store. All fields besides running are owned by the simulation
+// goroutine.
+type Maintainer struct {
+	cfg     Config
+	env     *sim.Env
+	store   *charact.Store
+	det     *Detector
+	sampler Resampler
+	budget  *Budget
+
+	// running gates the self-rescheduling tick; atomic because Stop may be
+	// called from another OS thread (skyd.Close) while the simulation
+	// goroutine is mid-tick.
+	running atomic.Bool
+	// inflight guards against overlapping refresh processes.
+	inflight bool
+
+	traffic      map[string]int
+	trafficTotal int
+	lastAt       map[string]time.Time
+
+	refreshes       int
+	forced          int
+	skippedBudget   int
+	skippedCooldown int
+
+	mRefreshed   map[Reason]*metrics.Counter
+	mSkipBudget  *metrics.Counter
+	mSkipCool    *metrics.Counter
+	mBudgetUSD   *metrics.Gauge
+	mSpentUSD    *metrics.Gauge
+	mTicks       *metrics.Counter
+	mPollsIssued *metrics.Counter
+	reg          *metrics.Registry
+}
+
+// New assembles a maintainer over env. passive may be nil (drift scoring
+// then never gains confidence and ModeDrift degrades to its MaxAge
+// backstop); reg may be nil to disable instrumentation.
+func New(env *sim.Env, cfg Config, store *charact.Store, passive *charact.Passive, sampler Resampler, reg *metrics.Registry) (*Maintainer, error) {
+	cfg = cfg.withDefaults()
+	if !ValidMode(cfg.Mode) {
+		return nil, fmt.Errorf("refresh: unknown mode %q (valid: %v)", cfg.Mode, Modes())
+	}
+	if sampler == nil {
+		return nil, fmt.Errorf("refresh: nil sampler")
+	}
+	m := &Maintainer{
+		cfg:     cfg,
+		env:     env,
+		store:   store,
+		det:     NewDetector(passive, store, cfg.MinSamples),
+		sampler: sampler,
+		budget:  NewBudget(cfg.RatePerHour, cfg.Cap, env.Now()),
+		traffic: make(map[string]int),
+		lastAt:  make(map[string]time.Time),
+		reg:     reg,
+		mRefreshed: map[Reason]*metrics.Counter{
+			ReasonUnknown: reg.Counter("sky_refresh_total", "zone re-characterizations, by trigger", metrics.L("reason", string(ReasonUnknown))),
+			ReasonAge:     reg.Counter("sky_refresh_total", "zone re-characterizations, by trigger", metrics.L("reason", string(ReasonAge))),
+			ReasonDrift:   reg.Counter("sky_refresh_total", "zone re-characterizations, by trigger", metrics.L("reason", string(ReasonDrift))),
+			ReasonForced:  reg.Counter("sky_refresh_total", "zone re-characterizations, by trigger", metrics.L("reason", string(ReasonForced))),
+		},
+		mSkipBudget:  reg.Counter("sky_refresh_skipped_total", "due refreshes deferred, by cause", metrics.L("cause", "budget")),
+		mSkipCool:    reg.Counter("sky_refresh_skipped_total", "due refreshes deferred, by cause", metrics.L("cause", "cooldown")),
+		mBudgetUSD:   reg.Gauge("sky_refresh_budget_usd", "accrued refresh budget balance (USD)"),
+		mSpentUSD:    reg.Gauge("sky_refresh_spent_usd", "total refresh sampling spend (USD)"),
+		mTicks:       reg.Counter("sky_refresh_ticks_total", "control-loop ticks executed"),
+		mPollsIssued: reg.Counter("sky_refresh_polls_total", "sampling polls issued by maintenance refreshes"),
+	}
+	m.mBudgetUSD.Set(m.budget.Balance(env.Now()))
+	return m, nil
+}
+
+// Config returns the effective configuration.
+func (m *Maintainer) Config() Config { return m.cfg }
+
+// Detector exposes the drift detector (read-only use from inside the sim).
+func (m *Maintainer) Detector() *Detector { return m.det }
+
+// ObserveTraffic records completed routed invocations landing on az; the
+// urgency score uses the accumulated share. Must be called from inside the
+// simulation (the router's burst path).
+func (m *Maintainer) ObserveTraffic(az string, completed int) {
+	if completed <= 0 {
+		return
+	}
+	m.traffic[az] += completed
+	m.trafficTotal += completed
+}
+
+// SetMode switches the trigger policy. Must be called from inside the
+// simulation.
+func (m *Maintainer) SetMode(mode Mode) error {
+	if !ValidMode(mode) {
+		return fmt.Errorf("refresh: unknown mode %q (valid: %v)", mode, Modes())
+	}
+	m.cfg.Mode = mode
+	return nil
+}
+
+// RetuneBudget changes the governor's refill rate and cap. Must be called
+// from inside the simulation.
+func (m *Maintainer) RetuneBudget(ratePerHour, cap float64) error {
+	if ratePerHour < 0 || cap <= 0 {
+		return fmt.Errorf("refresh: budget rate must be >= 0 and cap > 0")
+	}
+	m.budget.Retune(m.env.Now(), ratePerHour, cap)
+	m.cfg.RatePerHour = ratePerHour
+	m.cfg.Cap = cap
+	m.mBudgetUSD.Set(m.budget.Balance(m.env.Now()))
+	return nil
+}
+
+// Start arms the control loop: a tick every TickEvery of virtual time that
+// plans due refreshes and spawns one refresh process when there is work.
+// Safe to call at most once before or during the run; the loop stops
+// rescheduling after Stop, letting the event queue drain.
+func (m *Maintainer) Start() {
+	if !m.running.CompareAndSwap(false, true) {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if !m.running.Load() {
+			return
+		}
+		m.mTicks.Inc()
+		m.mBudgetUSD.Set(m.budget.Balance(m.env.Now()))
+		if !m.inflight {
+			if due := m.plan(m.env.Now()); len(due) > 0 {
+				m.inflight = true
+				m.env.Go("refresh-loop", func(p *sim.Proc) error {
+					defer func() { m.inflight = false }()
+					m.runDue(p, due)
+					return nil
+				})
+			}
+		}
+		m.env.Schedule(m.cfg.TickEvery, tick)
+	}
+	m.env.Schedule(m.cfg.TickEvery, tick)
+}
+
+// Stop halts the control loop after the current tick. Safe from any
+// goroutine; idempotent. In-flight refresh processes finish on their own.
+func (m *Maintainer) Stop() { m.running.Store(false) }
+
+// Running reports whether the control loop is armed.
+func (m *Maintainer) Running() bool { return m.running.Load() }
+
+// zones returns the maintained zone set, sorted.
+func (m *Maintainer) zones() []string {
+	if len(m.cfg.Zones) > 0 {
+		out := append([]string(nil), m.cfg.Zones...)
+		sort.Strings(out)
+		return out
+	}
+	set := make(map[string]bool)
+	for _, az := range m.store.Zones() {
+		set[az] = true
+	}
+	for az := range m.traffic {
+		set[az] = true
+	}
+	out := make([]string, 0, len(set))
+	for az := range set {
+		out = append(out, az)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// zoneStatus scores one zone at now.
+func (m *Maintainer) zoneStatus(az string, now time.Time) ZoneStatus {
+	zs := ZoneStatus{AZ: az, LastRefresh: m.lastAt[az]}
+	ch, ok := m.store.Last(az)
+	if ok {
+		zs.Known = true
+		zs.Age = ch.Age(now)
+		zs.Fresh = m.store.Fresh(ch, now)
+	}
+	zs.Drift = m.det.Score(az, now)
+	if m.trafficTotal > 0 {
+		zs.TrafficShare = float64(m.traffic[az]) / float64(m.trafficTotal)
+	}
+
+	w := m.cfg.Weights
+	ageNorm := 0.0
+	if zs.Known {
+		ageNorm = float64(zs.Age) / float64(m.cfg.MaxAge)
+	}
+	driftNorm := 0.0
+	if zs.Drift.Confident {
+		driftNorm = zs.Drift.TV / m.cfg.DriftThreshold
+	}
+	zs.Urgency = w.Age*ageNorm + w.Drift*driftNorm + w.Traffic*zs.TrafficShare
+
+	switch {
+	case !zs.Known:
+		// Never characterized: urgent under every active mode.
+		zs.Due = m.cfg.Mode != ModeOff
+		zs.Reason = ReasonUnknown
+		zs.Urgency += 2 * w.Age
+	case m.cfg.Mode == ModeAge:
+		zs.Due = ageNorm >= 1
+		zs.Reason = ReasonAge
+	case m.cfg.Mode == ModeDrift:
+		switch {
+		case driftNorm >= 1:
+			zs.Due = true
+			zs.Reason = ReasonDrift
+		case ageNorm >= 1:
+			zs.Due = true
+			zs.Reason = ReasonAge
+		}
+	}
+	if m.reg != nil {
+		m.reg.Gauge("sky_refresh_drift_tv",
+			"total-variation distance between passive traffic mix and stored characterization",
+			metrics.L("az", az)).Set(zs.Drift.TV)
+	}
+	return zs
+}
+
+// dueZone is one planned refresh.
+type dueZone struct {
+	az      string
+	urgency float64
+	reason  Reason
+}
+
+// dueHeap is a max-heap on urgency with the zone name breaking ties, so
+// planning order is a pure function of the scores.
+type dueHeap []dueZone
+
+func (h dueHeap) Len() int { return len(h) }
+func (h dueHeap) Less(i, j int) bool {
+	if h[i].urgency != h[j].urgency {
+		return h[i].urgency > h[j].urgency
+	}
+	return h[i].az < h[j].az
+}
+func (h dueHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *dueHeap) Push(x any)   { *h = append(*h, x.(dueZone)) }
+func (h *dueHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// plan scores every maintained zone and returns the due ones, most urgent
+// first, with per-zone cooldown already applied.
+func (m *Maintainer) plan(now time.Time) []dueZone {
+	h := make(dueHeap, 0, 4)
+	heap.Init(&h)
+	for _, az := range m.zones() {
+		zs := m.zoneStatus(az, now)
+		if !zs.Due {
+			continue
+		}
+		if last, ok := m.lastAt[az]; ok && now.Sub(last) < m.cfg.Cooldown {
+			m.skippedCooldown++
+			m.mSkipCool.Inc()
+			continue
+		}
+		heap.Push(&h, dueZone{az: az, urgency: zs.Urgency, reason: zs.Reason})
+	}
+	out := make([]dueZone, 0, h.Len())
+	for h.Len() > 0 {
+		out = append(out, heap.Pop(&h).(dueZone))
+	}
+	return out
+}
+
+// runDue executes planned refreshes in urgency order until the budget
+// governor says stop. Cooldowns are re-checked at execution time: earlier
+// refreshes consume virtual time.
+func (m *Maintainer) runDue(p *sim.Proc, due []dueZone) {
+	for _, d := range due {
+		now := p.Env().Now()
+		if last, ok := m.lastAt[d.az]; ok && now.Sub(last) < m.cfg.Cooldown {
+			m.skippedCooldown++
+			m.mSkipCool.Inc()
+			continue
+		}
+		if !m.budget.Allows(now) {
+			m.skippedBudget++
+			m.mSkipBudget.Inc()
+			m.mBudgetUSD.Set(m.budget.Balance(now))
+			return
+		}
+		if _, err := m.refreshOne(p, d.az, m.cfg.Polls, d.reason); err != nil {
+			// A refresh that found nothing (e.g. the zone is mid-outage)
+			// leaves the old characterization in place; the next tick
+			// retries after the cooldown.
+			m.lastAt[d.az] = p.Env().Now()
+			continue
+		}
+	}
+}
+
+// refreshOne re-samples az and stores the result, debiting actual cost.
+func (m *Maintainer) refreshOne(p *sim.Proc, az string, polls int, reason Reason) (charact.Characterization, error) {
+	ch, err := m.sampler.Resample(p, az, polls)
+	now := p.Env().Now()
+	if err != nil {
+		return charact.Characterization{}, err
+	}
+	m.store.Put(ch)
+	m.lastAt[az] = now
+	m.budget.Debit(now, ch.CostUSD)
+	m.refreshes++
+	if reason == ReasonForced {
+		m.forced++
+	}
+	m.mRefreshed[reason].Inc()
+	m.mPollsIssued.Add(uint64(ch.Polls))
+	m.mSpentUSD.Set(m.budget.Spent())
+	m.mBudgetUSD.Set(m.budget.Balance(now))
+	return ch, nil
+}
+
+// Force re-samples az immediately, bypassing mode, thresholds, and
+// cooldown (spend is still debited so the governor sees it). polls <= 0
+// uses the configured depth. Must be called from inside the simulation.
+func (m *Maintainer) Force(p *sim.Proc, az string, polls int) (charact.Characterization, error) {
+	if polls <= 0 {
+		polls = m.cfg.Polls
+	}
+	return m.refreshOne(p, az, polls, ReasonForced)
+}
+
+// Snapshot returns the maintainer's full state at now. Must be called from
+// inside the simulation.
+func (m *Maintainer) Snapshot() Status {
+	now := m.env.Now()
+	st := Status{
+		Mode:            m.cfg.Mode,
+		BudgetBalance:   m.budget.Balance(now),
+		BudgetRate:      m.budget.RatePerHour(),
+		BudgetCap:       m.budget.Cap(),
+		SpentUSD:        m.budget.Spent(),
+		Refreshes:       m.refreshes,
+		Forced:          m.forced,
+		SkippedBudget:   m.skippedBudget,
+		SkippedCooldown: m.skippedCooldown,
+	}
+	for _, az := range m.zones() {
+		st.Zones = append(st.Zones, m.zoneStatus(az, now))
+	}
+	return st
+}

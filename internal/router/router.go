@@ -29,6 +29,9 @@ type Router struct {
 	metrics  *metrics.Registry
 	breakers map[string]*Breaker
 	rand     *rng.Stream
+	// trafficSink, when set, receives each burst's landing zone and
+	// completion count (the refresh maintainer's urgency signal).
+	trafficSink func(az string, completed int)
 }
 
 // New assembles a router.
@@ -48,6 +51,12 @@ func (r *Router) UsePassive(p *charact.Passive) { r.passive = p }
 
 // Passive returns the attached collector (nil when unset).
 func (r *Router) Passive() *charact.Passive { return r.passive }
+
+// UseTrafficSink registers a callback invoked at the end of every burst
+// with the decided zone and its completion count. The refresh maintainer
+// uses it to weight re-characterization urgency by routed traffic share.
+// The callback runs on the simulation goroutine.
+func (r *Router) UseTrafficSink(fn func(az string, completed int)) { r.trafficSink = fn }
 
 // observePassive feeds one response into the passive collector.
 func (r *Router) observePassive(az string, resp cloudsim.Response) {
@@ -409,6 +418,9 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	p.Wait(done)
 	res.Elapsed = env.Now().Sub(start)
 	bm.recordResult(res, r.perf, res.Elapsed)
+	if r.trafficSink != nil && res.Completed > 0 {
+		r.trafficSink(res.AZ, res.Completed)
+	}
 	return res, nil
 }
 

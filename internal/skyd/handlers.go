@@ -26,6 +26,8 @@ func (s *Server) routes() {
 	s.handle("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
 	s.handle("POST /v1/faults", "/v1/faults", s.handleInjectFaults)
 	s.handle("GET /v1/faults", "/v1/faults", s.handleListFaults)
+	s.handle("GET /v1/refresh", "/v1/refresh", s.handleRefreshStatus)
+	s.handle("POST /v1/refresh", "/v1/refresh", s.handleRefreshControl)
 	// Observability endpoints are deliberately uninstrumented: scrapes must
 	// stay readable without perturbing the numbers they report.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)

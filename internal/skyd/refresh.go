@@ -1,0 +1,180 @@
+package skyd
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"skyfaas/internal/refresh"
+	"skyfaas/internal/sim"
+)
+
+// Characterization-maintenance admin surface. GET /v1/refresh snapshots the
+// maintainer (mode, budget, per-zone drift/urgency); POST /v1/refresh
+// switches modes, retunes the budget, and/or forces an immediate zone
+// refresh. Durations travel as milliseconds, times as RFC 3339, matching
+// the fault surface.
+
+type refreshZoneJS struct {
+	AZ           string  `json:"az"`
+	Known        bool    `json:"known"`
+	Fresh        bool    `json:"fresh"`
+	AgeMS        float64 `json:"ageMS"`
+	DriftTV      float64 `json:"driftTV"`
+	DriftChi2    float64 `json:"driftChi2"`
+	DriftSamples int     `json:"driftSamples"`
+	Confident    bool    `json:"confident"`
+	TrafficShare float64 `json:"trafficShare"`
+	Urgency      float64 `json:"urgency"`
+	Due          bool    `json:"due"`
+	Reason       string  `json:"reason,omitempty"`
+	LastRefresh  string  `json:"lastRefresh,omitempty"`
+}
+
+type refreshStatusJS struct {
+	Mode              string          `json:"mode"`
+	Running           bool            `json:"running"`
+	BudgetBalanceUSD  float64         `json:"budgetBalanceUSD"`
+	BudgetRatePerHour float64         `json:"budgetRatePerHour"`
+	BudgetCapUSD      float64         `json:"budgetCapUSD"`
+	SpentUSD          float64         `json:"spentUSD"`
+	Refreshes         int             `json:"refreshes"`
+	Forced            int             `json:"forced"`
+	SkippedBudget     int             `json:"skippedBudget"`
+	SkippedCooldown   int             `json:"skippedCooldown"`
+	Zones             []refreshZoneJS `json:"zones"`
+}
+
+func refreshStatus(st refresh.Status, running bool) refreshStatusJS {
+	out := refreshStatusJS{
+		Mode:              string(st.Mode),
+		Running:           running,
+		BudgetBalanceUSD:  st.BudgetBalance,
+		BudgetRatePerHour: st.BudgetRate,
+		BudgetCapUSD:      st.BudgetCap,
+		SpentUSD:          st.SpentUSD,
+		Refreshes:         st.Refreshes,
+		Forced:            st.Forced,
+		SkippedBudget:     st.SkippedBudget,
+		SkippedCooldown:   st.SkippedCooldown,
+		Zones:             []refreshZoneJS{},
+	}
+	for _, z := range st.Zones {
+		js := refreshZoneJS{
+			AZ:           z.AZ,
+			Known:        z.Known,
+			Fresh:        z.Fresh,
+			AgeMS:        float64(z.Age) / float64(time.Millisecond),
+			DriftTV:      z.Drift.TV,
+			DriftChi2:    z.Drift.Chi2,
+			DriftSamples: z.Drift.Samples,
+			Confident:    z.Drift.Confident,
+			TrafficShare: z.TrafficShare,
+			Urgency:      z.Urgency,
+			Due:          z.Due,
+			Reason:       string(z.Reason),
+		}
+		if !z.LastRefresh.IsZero() {
+			js.LastRefresh = z.LastRefresh.UTC().Format(time.RFC3339)
+		}
+		out.Zones = append(out.Zones, js)
+	}
+	return out
+}
+
+type refreshBudgetJS struct {
+	RatePerHour float64 `json:"ratePerHour"`
+	CapUSD      float64 `json:"capUSD"`
+}
+
+type refreshReq struct {
+	// Mode switches the trigger policy (off | age | drift).
+	Mode string `json:"mode,omitempty"`
+	// Budget retunes the token-bucket governor.
+	Budget *refreshBudgetJS `json:"budget,omitempty"`
+	// AZ forces an immediate re-characterization of one zone, bypassing
+	// mode and cooldown (still debited against the budget).
+	AZ string `json:"az,omitempty"`
+	// Polls overrides the forced refresh depth (0 = configured default).
+	Polls int `json:"polls,omitempty"`
+}
+
+// errRefreshDisabled answers both endpoints when the server was built
+// without a refresh configuration.
+var errRefreshDisabled = fmt.Errorf("refresh maintenance not enabled (start skyd with a refresh config)")
+
+func (s *Server) handleRefreshStatus(w http.ResponseWriter, r *http.Request) {
+	m := s.refresher
+	if m == nil {
+		writeErr(w, http.StatusConflict, errRefreshDisabled)
+		return
+	}
+	var st refresh.Status
+	err := s.Exec(func(*sim.Proc) error {
+		st = m.Snapshot()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, refreshStatus(st, m.Running()))
+}
+
+func (s *Server) handleRefreshControl(w http.ResponseWriter, r *http.Request) {
+	m := s.refresher
+	if m == nil {
+		writeErr(w, http.StatusConflict, errRefreshDisabled)
+		return
+	}
+	var req refreshReq
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Mode == "" && req.Budget == nil && req.AZ == "" {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("provide at least one of mode, budget, az"))
+		return
+	}
+	if req.Mode != "" && !refresh.ValidMode(refresh.Mode(req.Mode)) {
+		names := make([]string, 0, 3)
+		for _, k := range refresh.Modes() {
+			names = append(names, string(k))
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (valid: %s)",
+			req.Mode, strings.Join(names, ", ")))
+		return
+	}
+	if req.Budget != nil && (req.Budget.RatePerHour < 0 || req.Budget.CapUSD <= 0) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("budget rate must be >= 0 and cap > 0"))
+		return
+	}
+	var st refresh.Status
+	err := s.Exec(func(p *sim.Proc) error {
+		if req.Mode != "" {
+			if err := m.SetMode(refresh.Mode(req.Mode)); err != nil {
+				return err
+			}
+		}
+		if req.Budget != nil {
+			if err := m.RetuneBudget(req.Budget.RatePerHour, req.Budget.CapUSD); err != nil {
+				return err
+			}
+		}
+		if req.AZ != "" {
+			if _, err := m.Force(p, req.AZ, req.Polls); err != nil {
+				return fmt.Errorf("force refresh %s: %w", req.AZ, err)
+			}
+		}
+		st = m.Snapshot()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, refreshStatus(st, m.Running()))
+}

@@ -1,0 +1,150 @@
+package skyd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/refresh"
+	"skyfaas/internal/sampler"
+)
+
+// newRefreshServer builds the two-zone test server with the maintenance
+// loop enabled in the given mode.
+func newRefreshServer(t *testing.T, mode refresh.Mode) *Server {
+	t.Helper()
+	rt, err := core.New(core.Config{
+		Seed: 9,
+		Catalog: []cloudsim.RegionSpec{{
+			Provider: cloudsim.AWS, Name: "t1", Loc: geo.Coord{Lat: 40, Lon: -80},
+			AZs: []cloudsim.AZSpec{
+				{Name: "t1-slow", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon25: 0.5, cpu.EPYC: 0.5}},
+				{Name: "t1-fast", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon30: 0.6, cpu.Xeon25: 0.4}},
+			},
+		}},
+		SamplerCfg: sampler.Config{
+			Endpoints: 30, PollSize: 84, Branch: 4,
+			Sleep: 100 * time.Millisecond, InterPollPause: 500 * time.Millisecond,
+		},
+		SkipMesh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.EnablePassiveCharacterization(time.Hour)
+	s, err := New(Config{
+		Runtime: rt,
+		Speedup: 5e6,
+		Refresh: &refresh.Config{
+			Zones: []string{"t1-slow", "t1-fast"},
+			Mode:  mode,
+			Polls: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestRefreshDisabledAnswers409(t *testing.T) {
+	s := newTestServer(t)
+	if res, _ := do(t, s, "GET", "/v1/refresh", nil); res.StatusCode != http.StatusConflict {
+		t.Fatalf("GET status = %d, want 409 when refresh is disabled", res.StatusCode)
+	}
+	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{"mode": "age"}); res.StatusCode != http.StatusConflict {
+		t.Fatalf("POST status = %d, want 409 when refresh is disabled", res.StatusCode)
+	}
+}
+
+func TestRefreshStatusAndControl(t *testing.T) {
+	s := newRefreshServer(t, refresh.ModeOff)
+
+	res, body := do(t, s, "GET", "/v1/refresh", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d: %s", res.StatusCode, body)
+	}
+	var st refreshStatusJS
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "off" || !st.Running || len(st.Zones) != 2 {
+		t.Fatalf("status = %+v, want running off-mode loop over 2 zones", st)
+	}
+
+	// Force one zone: it must become known and the spend must register.
+	res, body = do(t, s, "POST", "/v1/refresh", map[string]any{"az": "t1-fast", "polls": 2})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("force status = %d: %s", res.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Refreshes != 1 || st.Forced != 1 || st.SpentUSD <= 0 {
+		t.Fatalf("after force: %+v, want refreshes=1 forced=1 spend>0", st)
+	}
+	known := map[string]bool{}
+	for _, z := range st.Zones {
+		known[z.AZ] = z.Known
+	}
+	if !known["t1-fast"] || known["t1-slow"] {
+		t.Fatalf("zones after force = %+v, want only t1-fast known", st.Zones)
+	}
+
+	// Switch mode and retune the budget in one call.
+	res, body = do(t, s, "POST", "/v1/refresh", map[string]any{
+		"mode":   "drift",
+		"budget": map[string]any{"ratePerHour": 2.5, "capUSD": 0.75},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("control status = %d: %s", res.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "drift" || st.BudgetRatePerHour != 2.5 || st.BudgetCapUSD != 0.75 {
+		t.Fatalf("after retune: %+v, want drift mode with 2.5/h cap 0.75", st)
+	}
+}
+
+func TestRefreshControlValidation(t *testing.T) {
+	s := newRefreshServer(t, refresh.ModeOff)
+	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{}); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request status = %d, want 400", res.StatusCode)
+	}
+	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{"mode": "sometimes"}); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mode status = %d, want 400", res.StatusCode)
+	}
+	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{"budget": map[string]any{"ratePerHour": 1.0}}); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero cap status = %d, want 400", res.StatusCode)
+	}
+}
+
+// TestRefreshLoopCloseRaces arms an age-mode loop that is actively ticking
+// and immediately closes the server: Close must stop the tick and return
+// (run with -race; this is the cross-thread Stop path).
+func TestRefreshLoopCloseRaces(t *testing.T) {
+	s := newRefreshServer(t, refresh.ModeAge)
+	res, _ := do(t, s, "GET", "/v1/refresh", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", res.StatusCode)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung: refresh tick kept the event queue alive")
+	}
+}

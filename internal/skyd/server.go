@@ -22,6 +22,7 @@ import (
 
 	"skyfaas/internal/core"
 	"skyfaas/internal/metrics"
+	"skyfaas/internal/refresh"
 	"skyfaas/internal/sim"
 )
 
@@ -45,6 +46,12 @@ type Config struct {
 	// HealthTimeout bounds how long /healthz waits for the simulation
 	// goroutine to answer before reporting the pump stalled (default 5s).
 	HealthTimeout time.Duration
+	// Refresh, when non-nil, enables the continuous characterization-
+	// maintenance control loop on the runtime and starts it with the
+	// server; /v1/refresh then inspects and steers it. Nil leaves the
+	// endpoints answering 409 (unless the runtime already carries a
+	// maintainer, which the server adopts and stops on Close).
+	Refresh *refresh.Config
 }
 
 // Server bridges HTTP onto a paced simulation.
@@ -55,6 +62,11 @@ type Server struct {
 	metrics       *metrics.Registry
 	queueDepth    *metrics.Gauge
 	healthTimeout time.Duration
+
+	// refresher is the maintenance loop the server owns the lifecycle of
+	// (nil when refresh is disabled); Close must stop it or its
+	// self-rescheduling tick would keep the event queue alive forever.
+	refresher *refresh.Maintainer
 
 	mux  *http.ServeMux
 	cmds chan func(p *sim.Proc)
@@ -97,6 +109,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.queueDepth = s.metrics.Gauge("sky_skyd_cmd_queue_depth",
 		"commands enqueued for the simulation goroutine but not yet started")
+	// Arm the maintenance loop before the simulation goroutine starts: the
+	// environment is not yet running, so scheduling its first tick here is
+	// single-threaded and safe.
+	if cfg.Refresh != nil {
+		m, err := cfg.Runtime.EnableRefresh(*cfg.Refresh)
+		if err != nil {
+			return nil, err
+		}
+		m.Start()
+		s.refresher = m
+	} else if m := cfg.Runtime.Refresher(); m != nil {
+		// Adopt an externally enabled maintainer so Close can stop its tick.
+		s.refresher = m
+	}
 	s.routes()
 	go s.loop()
 	return s, nil
@@ -175,6 +201,12 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	// Stop the maintenance tick first (atomic flag, safe cross-thread):
+	// RunPaced only returns once the event queue drains, and a live
+	// self-rescheduling tick would keep it full forever.
+	if s.refresher != nil {
+		s.refresher.Stop()
+	}
 	close(s.stop)
 	s.mu.Unlock()
 	<-s.done

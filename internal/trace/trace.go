@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"skyfaas/internal/cloudsim"
@@ -29,13 +30,15 @@ type Record struct {
 	Error    string    `json:"error,omitempty"`
 }
 
-// Recorder serializes records to a writer. It is not safe for concurrent
-// use; the simulation delivers responses one at a time, which is exactly
-// the guarantee it needs.
+// Recorder serializes records to a writer. It is safe for concurrent use:
+// the simulation delivers responses one at a time, but a paced skyd run can
+// drain traces while HTTP handlers read Count/Err from other goroutines, so
+// every field is guarded by one mutex.
 type Recorder struct {
-	enc *json.Encoder
-	n   int
-	err error
+	mu  sync.Mutex
+	enc *json.Encoder // guarded by mu
+	n   int           // guarded by mu
+	err error         // guarded by mu
 }
 
 // NewRecorder writes JSON lines to w.
@@ -69,6 +72,8 @@ func (r *Recorder) Hook() func(cloudsim.Request, cloudsim.Response) {
 		if resp.Err != nil {
 			rec.Error = resp.Err.Error()
 		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		if err := r.enc.Encode(rec); err != nil && r.err == nil {
 			r.err = fmt.Errorf("trace: %w", err)
 		}
@@ -77,7 +82,15 @@ func (r *Recorder) Hook() func(cloudsim.Request, cloudsim.Response) {
 }
 
 // Count returns the number of records written.
-func (r *Recorder) Count() int { return r.n }
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
 
 // Err returns the first write error, if any.
-func (r *Recorder) Err() error { return r.err }
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -106,3 +107,39 @@ type errWriter struct{}
 func (errWriter) Write([]byte) (int, error) { return 0, errBoom }
 
 var errBoom = bufio.ErrBufferFull // any sentinel error
+
+// TestRecorderConcurrentUse hammers the hook from several goroutines while
+// another reads Count/Err — the pattern a paced skyd run produces. Run under
+// -race this proves the Recorder's mutex actually covers every field.
+func TestRecorderConcurrentUse(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	hook := rec.Hook()
+	const writers, each = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				hook(cloudsim.Request{AZ: "z", Function: "f"}, cloudsim.Response{})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = rec.Count()
+			_ = rec.Err()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := rec.Count(); got != writers*each {
+		t.Fatalf("count = %d, want %d", got, writers*each)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != writers*each {
+		t.Fatalf("lines = %d, want %d", lines, writers*each)
+	}
+}

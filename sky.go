@@ -36,6 +36,7 @@ import (
 	"skyfaas/internal/cloudsim"
 	"skyfaas/internal/core"
 	"skyfaas/internal/faas"
+	"skyfaas/internal/refresh"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sampler"
 	"skyfaas/internal/sim"
@@ -137,6 +138,26 @@ func ScenarioByName(name, az string) (Scenario, bool) { return chaos.ScenarioByN
 
 // ScenarioNames lists the canned chaos scenario names, sorted.
 func ScenarioNames() []string { return chaos.ScenarioNames() }
+
+// Continuous characterization maintenance (drift detection + refresh).
+type (
+	// RefreshConfig tunes the drift-aware refresh control loop.
+	RefreshConfig = refresh.Config
+	// RefreshMode selects the maintenance policy (off, age, drift).
+	RefreshMode = refresh.Mode
+	// RefreshMaintainer is the running control loop; obtain one with
+	// Runtime.EnableRefresh.
+	RefreshMaintainer = refresh.Maintainer
+	// RefreshStatus is a point-in-time snapshot of the control loop.
+	RefreshStatus = refresh.Status
+	// DriftScore quantifies passive-vs-stored CPU-mix divergence for a zone.
+	DriftScore = refresh.DriftScore
+	// RefreshWeights blends age, drift, and traffic into refresh urgency.
+	RefreshWeights = refresh.Weights
+)
+
+// RefreshModes lists the supported maintenance modes, in stable order.
+func RefreshModes() []RefreshMode { return refresh.Modes() }
 
 // Characterization machinery (RQ-1/RQ-2).
 type (
