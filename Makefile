@@ -5,13 +5,13 @@ GO ?= go
 # Concurrency-sensitive packages that must stay race-clean. `make ci` and
 # .github/workflows/ci.yml both run exactly these targets — keep them in
 # sync so local runs and CI can't drift.
-RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/
+RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/
 
-.PHONY: all build vet fmt-check lint test race ci smoke-ex6 smoke-ex7 bench reproduce serve clean
+.PHONY: all build vet fmt-check lint test race ci smoke-ex6 smoke-ex7 smoke-ex8 bench reproduce serve clean
 
 all: build vet lint test
 
-ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7
+ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7 smoke-ex8
 
 # One reduced EX-6 pass: proves the chaos layer, resilient routing, and the
 # strategy registry compose end to end outside the test harness.
@@ -22,6 +22,12 @@ smoke-ex6:
 # budget governor compose end to end outside the test harness.
 smoke-ex7:
 	$(GO) run ./cmd/skybench -ex ex7 -scale reduced
+
+# One reduced EX-8 pass: proves the admission gate, the open-loop load
+# schedule, and the overload frontier compose end to end outside the test
+# harness.
+smoke-ex8:
+	$(GO) run ./cmd/skybench -ex ex8 -scale reduced
 
 build:
 	$(GO) build ./...

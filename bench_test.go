@@ -257,3 +257,25 @@ func BenchmarkAblationStaleProfile(b *testing.B) {
 		b.ReportMetric(res.StaleSavings*100, "stale-savings-%")
 	}
 }
+
+// BenchmarkEX8Frontier regenerates EX-8's overload frontier at benchmark
+// scale: the 2x-capacity cell's shed rate and served p99 for the admission
+// arm, against the retry-storm arm's inflated p99 and hard-error rate.
+func BenchmarkEX8Frontier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEX8(experiments.EX8Config{Seed: uint64(i)}.Reduced())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CapacityRPS, "capacity-rps")
+		if c, ok := res.Cell(experiments.EX8Admission, 2); ok {
+			b.ReportMetric(c.Report.ShedRate*100, "gated-shed-%@2x")
+			b.ReportMetric(c.Report.Latency.P99, "gated-p99-ms@2x")
+			b.ReportMetric(c.Report.GoodputRPS, "gated-goodput-rps@2x")
+		}
+		if c, ok := res.Cell(experiments.EX8NoAdmission, 2); ok {
+			b.ReportMetric(c.Report.Latency.P99, "naive-p99-ms@2x")
+			b.ReportMetric(c.Report.ErrorRate*100, "naive-errors-%@2x")
+		}
+	}
+}

@@ -159,6 +159,14 @@ func registry() []experiment {
 			res, err := experiments.RunEX7(cfg)
 			return renderCSV(o, res, err)
 		}},
+		{"ex8", func(o benchOpts) (string, error) {
+			cfg := experiments.EX8Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX8(cfg)
+			return renderCSV(o, res, err)
+		}},
 	}
 }
 

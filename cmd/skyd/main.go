@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"skyfaas/internal/admission"
 	"skyfaas/internal/core"
 	"skyfaas/internal/refresh"
 	"skyfaas/internal/skyd"
@@ -45,6 +47,10 @@ func run(args []string) error {
 	refreshMode := fs.String("refresh", "", "characterization maintenance mode: off, age, or drift (empty = disabled)")
 	refreshRate := fs.Float64("refresh-budget-rate", 0, "refresh budget refill, USD per virtual hour (0 = default)")
 	refreshCap := fs.Float64("refresh-budget-cap", 0, "refresh budget ceiling, USD (0 = default)")
+	admit := fs.Bool("admission", false, "enable the overload-control gate (sheds with 429 past estimated capacity)")
+	admitSlots := fs.Int("admission-slots", 0, "admission slot count (0 = platform quota minus headroom)")
+	admitUtil := fs.Float64("admission-target-util", 0, "admitted-concurrency ceiling as a fraction of slots (0 = default 0.9)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +67,12 @@ func run(args []string) error {
 			Mode:        refresh.Mode(*refreshMode),
 			RatePerHour: *refreshRate,
 			Cap:         *refreshCap,
+		}
+	}
+	if *admit {
+		skydCfg.Admission = &admission.Config{
+			Slots:      *admitSlots,
+			TargetUtil: *admitUtil,
 		}
 	}
 	server, err := skyd.New(skydCfg)
@@ -80,14 +92,31 @@ func run(args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	select {
 	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
 		return err
 	case s := <-sig:
-		log.Printf("received %v, shutting down", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain, strictly ordered: stop the listener and wait out
+		// in-flight requests first (they round-trip through the simulation,
+		// so the sim goroutine and any refresh loop must still be running),
+		// then the deferred server.Close stops the refresh tick and the
+		// simulation itself.
+		log.Printf("received %v, draining in-flight requests (up to %v)", s, *shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := httpServer.Shutdown(ctx); err != nil {
+			// Deadline exceeded: report it, but still close the simulation
+			// cleanly via the defer.
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		// Shutdown returned, so ListenAndServe has ended with
+		// ErrServerClosed; collect it so the goroutine is done before the
+		// simulation stops.
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
 		return nil

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral port and releases it for the server under
+// test. The gap between Close and ListenAndServe is a theoretical race, but
+// nothing else in the test process binds ports.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := http.Get(base + "/healthz")
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+// TestGracefulShutdownDrainsInflight proves the SIGTERM path: a burst that
+// is mid-flight when the signal lands must finish with 200 (the listener
+// stops accepting, the simulation keeps running until the drain completes)
+// and run must exit cleanly.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	addr := freePort(t)
+	base := "http://" + addr
+
+	done := make(chan error, 1)
+	go func() {
+		// Slow pacing (20 virtual seconds per wall second) makes the burst
+		// take ~45ms of wall time — a window the signal can land inside.
+		// Refresh stays off: after the drain, Close still has to pace out
+		// any already-scheduled tick, which at this speedup would stall the
+		// exit for seconds without testing anything new.
+		done <- run([]string{"-addr", addr, "-speedup", "20"})
+	}()
+	waitHealthy(t, base)
+	// healthz answers as soon as the listener is up; give run a beat to
+	// reach signal.Notify before SIGTERM.
+	time.Sleep(100 * time.Millisecond)
+
+	// Find any zone to pin the burst to.
+	res, err := http.Get(base + "/v1/zones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zones struct {
+		Zones []struct {
+			Name string `json:"name"`
+		} `json:"zones"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&zones); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(zones.Zones) == 0 {
+		t.Fatal("no zones")
+	}
+	az := zones.Zones[0].Name
+
+	burstRes := make(chan error, 1)
+	go func() {
+		body := fmt.Sprintf(`{"workload":"sha1_hash","strategy":"baseline","az":%q,"n":5}`, az)
+		res, err := http.Post(base+"/v1/burst", "application/json", strings.NewReader(body))
+		if err != nil {
+			burstRes <- err
+			return
+		}
+		defer res.Body.Close()
+		buf := new(bytes.Buffer)
+		_, _ = buf.ReadFrom(res.Body)
+		if res.StatusCode != http.StatusOK {
+			burstRes <- fmt.Errorf("burst status %d: %s", res.StatusCode, buf.String())
+			return
+		}
+		burstRes <- nil
+	}()
+
+	// Let the burst reach the simulation, then signal mid-flight.
+	time.Sleep(20 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-burstRes:
+		if err != nil {
+			t.Fatalf("in-flight burst not drained: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("burst still pending after shutdown")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean exit", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+
+	// The listener must actually be gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Command skyload is an open-loop load generator for a running skyd: it
+// fires bursts against POST /v1/burst on a deterministic arrival schedule
+// (constant, ramp, or diurnal RPS off the shared rng), draws each request's
+// function from a weighted workload mix, records per-request latency into
+// log-bucketed histograms, and prints a results report — achieved RPS,
+// p50/p90/p95/p99, and the shed/error breakdown — as a table or JSON.
+//
+// Being open-loop, arrivals follow the schedule regardless of completions: a
+// saturated or shedding skyd does not slow the generator down, so the report
+// shows true overload behavior rather than the self-throttled numbers a
+// closed-loop client would produce.
+//
+// Usage:
+//
+//	skyd -addr :8080 -admission &
+//	skyload -url http://localhost:8080 -rps 20 -duration 10s -workload sha1_hash
+//	skyload -url http://localhost:8080 -pattern ramp -base-rps 2 -rps 60 -duration 30s \
+//	        -mix "sha1_hash=3,thumbnailer=1" -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"skyfaas/internal/load"
+	"skyfaas/internal/rng"
+	"skyfaas/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skyload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skyload", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	url := fs.String("url", "http://127.0.0.1:8080", "skyd base URL")
+	pattern := fs.String("pattern", "constant", "arrival pattern: constant, ramp, or diurnal")
+	rps := fs.Float64("rps", 10, "peak offered requests per second")
+	baseRPS := fs.Float64("base-rps", 0, "ramp start / diurnal trough RPS")
+	duration := fs.Duration("duration", 10*time.Second, "load duration")
+	period := fs.Duration("period", 0, "diurnal cycle length (0 = duration)")
+	wlName := fs.String("workload", "sha1_hash", "single workload to drive (ignored when -mix is set)")
+	mixFlag := fs.String("mix", "", "weighted workload mix, e.g. \"sha1_hash=3,thumbnailer=1\"")
+	n := fs.Int("n", 1, "invocations per burst request")
+	strategy := fs.String("strategy", "", "routing strategy for each burst (empty = skyd default)")
+	az := fs.String("az", "", "pinned zone for single-zone strategies")
+	candidates := fs.String("candidates", "", "comma-separated candidate zones")
+	seed := fs.Uint64("seed", 42, "schedule + mix seed (same seed, same arrival plan)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sched := load.Schedule{
+		Pattern:  load.Pattern(*pattern),
+		PeakRPS:  *rps,
+		BaseRPS:  *baseRPS,
+		Duration: *duration,
+		Period:   *period,
+	}
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	var mix load.Mix
+	if *mixFlag != "" {
+		m, err := load.ParseMix(*mixFlag)
+		if err != nil {
+			return err
+		}
+		mix = m
+	} else {
+		spec, ok := workload.ByName(*wlName)
+		if !ok {
+			names := make([]string, 0, 12)
+			for _, s := range workload.All() {
+				names = append(names, s.Name)
+			}
+			return fmt.Errorf("unknown workload %q; choose from: %s", *wlName, strings.Join(names, ", "))
+		}
+		mix = load.SingleMix(spec.ID)
+	}
+	if *n < 1 {
+		*n = 1
+	}
+
+	root := rng.New(*seed)
+	arrivals := sched.Arrivals(root.Split("skyload/arrivals"))
+	mixStream := root.Split("skyload/mix")
+	plan := make([]workload.ID, len(arrivals))
+	for i := range arrivals {
+		plan[i] = mix.Pick(mixStream)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	rec := load.NewRecorder()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, at := range arrivals {
+		// Open loop: sleep to the scheduled offset, then fire regardless of
+		// how many requests are still outstanding.
+		if wait := at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(w workload.ID) {
+			defer wg.Done()
+			fire(client, *url, rec, burstBody{
+				Workload:   w.String(),
+				Strategy:   *strategy,
+				AZ:         *az,
+				N:          *n,
+				Candidates: splitList(*candidates),
+			})
+		}(plan[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := rec.Report(sched.OfferedRPS()*float64(*n), elapsed)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("skyload: %s %s for %v against %s (mix %s, %d per burst)\n\n",
+		sched.Pattern, fmtRPS(sched), *duration, *url, mix, *n)
+	fmt.Print(report.Render())
+	return nil
+}
+
+type burstBody struct {
+	Workload   string   `json:"workload"`
+	Strategy   string   `json:"strategy,omitempty"`
+	AZ         string   `json:"az,omitempty"`
+	N          int      `json:"n"`
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+// fire issues one burst request and records its outcome. Latency is wall
+// time to the full response; sheds also record the server's Retry-After.
+func fire(client *http.Client, base string, rec *load.Recorder, body burstBody) {
+	rec.Begin()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		rec.Record(load.Errored, 0)
+		return
+	}
+	start := time.Now()
+	res, err := client.Post(base+"/v1/burst", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		rec.Record(load.Errored, msSince(start))
+		return
+	}
+	defer res.Body.Close()
+	_, _ = io.Copy(io.Discard, res.Body)
+	lat := msSince(start)
+	switch {
+	case res.StatusCode == http.StatusOK:
+		rec.Record(load.OK, lat)
+	case res.StatusCode == http.StatusTooManyRequests:
+		rec.Record(load.Shed, lat)
+		if secs, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil && secs > 0 {
+			rec.RecordRetryAfter(time.Duration(secs) * time.Second)
+		}
+	default:
+		rec.Record(load.Errored, lat)
+	}
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fmtRPS(s load.Schedule) string {
+	if s.Pattern == load.Constant {
+		return fmt.Sprintf("%g rps", s.PeakRPS)
+	}
+	return fmt.Sprintf("%g→%g rps", s.BaseRPS, s.PeakRPS)
+}

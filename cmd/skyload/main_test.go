@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"skyfaas/internal/load"
+)
+
+// capture redirects stdout for the duration of fn and returns what was
+// written.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(&buf, r)
+	}()
+	defer func() {
+		os.Stdout = old
+		w.Close()
+		<-done
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	<-done
+	return buf.String()
+}
+
+// burstSink is a fake skyd: it answers /v1/burst with 200s, interleaving a
+// 429 (with Retry-After) every shedEvery-th request when shedEvery > 0.
+type burstSink struct {
+	mu        sync.Mutex
+	bodies    []burstBody
+	count     atomic.Int64
+	shedEvery int64
+}
+
+func (s *burstSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/burst" || r.Method != http.MethodPost {
+		http.Error(w, "wrong endpoint", http.StatusNotFound)
+		return
+	}
+	var body burstBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.bodies = append(s.bodies, body)
+	s.mu.Unlock()
+	n := s.count.Add(1)
+	if s.shedEvery > 0 && n%s.shedEvery == 0 {
+		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"overloaded","shed":true}`))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"completed":1}`))
+}
+
+func TestRunJSONReport(t *testing.T) {
+	sink := &burstSink{shedEvery: 4}
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+
+	var err error
+	out := capture(t, func() {
+		err = run([]string{
+			"-url", srv.URL,
+			"-rps", "100", "-duration", "500ms",
+			"-workload", "sha1_hash", "-strategy", "baseline", "-az", "t1-a",
+			"-seed", "7", "-json",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var report load.Report
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out)
+	}
+	if report.Requests != 50 {
+		t.Fatalf("requests = %d, want 50 (100 rps for 500ms)", report.Requests)
+	}
+	wantShed := uint64(50 / 4)
+	if report.Shed != wantShed {
+		t.Fatalf("shed = %d, want %d", report.Shed, wantShed)
+	}
+	if report.OK != 50-wantShed {
+		t.Fatalf("ok = %d, want %d", report.OK, 50-wantShed)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", report.Errors)
+	}
+	if report.MeanRetryAfterMS != 2000 {
+		t.Fatalf("mean retry-after = %v ms, want 2000", report.MeanRetryAfterMS)
+	}
+	if report.Latency.Count != 50-wantShed || report.Latency.P99 <= 0 {
+		t.Fatalf("served latency summary %+v, want count %d with positive p99",
+			report.Latency, 50-wantShed)
+	}
+	if report.OfferedRPS != 100 {
+		t.Fatalf("offered rps = %v, want 100", report.OfferedRPS)
+	}
+
+	// Every burst carried the flags through.
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, b := range sink.bodies {
+		if b.Workload != "sha1_hash" || b.Strategy != "baseline" || b.AZ != "t1-a" || b.N != 1 {
+			t.Fatalf("unexpected burst body %+v", b)
+		}
+	}
+}
+
+func TestRunTableReport(t *testing.T) {
+	sink := &burstSink{}
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+
+	var err error
+	out := capture(t, func() {
+		err = run([]string{
+			"-url", srv.URL,
+			"-rps", "50", "-duration", "200ms",
+			"-mix", "sha1_hash=3,matrix_multiply=1", "-n", "2",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"offered RPS", "shed (429)", "latency p99 ms"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// The mix must reach the wire: both workloads, majority sha1_hash.
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	byFn := map[string]int{}
+	for _, b := range sink.bodies {
+		byFn[b.Workload]++
+		if b.N != 2 {
+			t.Fatalf("burst n = %d, want 2", b.N)
+		}
+	}
+	if byFn["sha1_hash"] == 0 || byFn["sha1_hash"] <= byFn["matrix_multiply"] {
+		t.Fatalf("mix not honored: %v", byFn)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run([]string{"-workload", "no_such_fn", "-duration", "1ms"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run([]string{"-pattern", "sawtooth", "-duration", "1ms"}); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if err := run([]string{"-mix", "sha1_hash=bogus", "-duration", "1ms"}); err == nil {
+		t.Fatal("bad mix weight accepted")
+	}
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestErrorsRecorded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var err error
+	out := capture(t, func() {
+		err = run([]string{"-url", srv.URL, "-rps", "40", "-duration", "250ms", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report load.Report
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != report.Requests || report.Requests == 0 {
+		t.Fatalf("errors = %d of %d requests, want all errored", report.Errors, report.Requests)
+	}
+	if report.ErrorRate != 1 {
+		t.Fatalf("error rate = %v, want 1", report.ErrorRate)
+	}
+}

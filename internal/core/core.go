@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"skyfaas/internal/admission"
 	"skyfaas/internal/chaos"
 	"skyfaas/internal/charact"
 	"skyfaas/internal/cloudsim"
@@ -90,6 +91,7 @@ type Runtime struct {
 	metrics   *metrics.Registry
 	sampled   map[string]bool // zones with sampling endpoints deployed
 	refresher *refresh.Maintainer
+	gate      *admission.Controller
 }
 
 // New builds a Runtime (deploying the mesh unless cfg.SkipMesh).
@@ -263,6 +265,58 @@ func (rt *Runtime) EnableRefresh(cfg refresh.Config) (*refresh.Maintainer, error
 
 // Refresher returns the maintenance loop (nil until EnableRefresh).
 func (rt *Runtime) Refresher() *refresh.Maintainer { return rt.refresher }
+
+// EnableAdmission builds the overload-control gate over this runtime.
+// Slots defaults to the platform quota minus headroom for the router's
+// profiling probes, and every workload's service-time estimate is seeded
+// from what the runtime has already learned: the performance model's
+// expected runtime over each characterized zone's CPU distribution
+// (averaged across zones) when profiling data exists, the catalog BaseMS
+// otherwise. The controller reports into the runtime's metrics registry
+// unless cfg.Metrics overrides it.
+func (rt *Runtime) EnableAdmission(cfg admission.Config) (*admission.Controller, error) {
+	if cfg.Slots == 0 {
+		quota := rt.cloud.Options().Quota
+		headroom := quota / 10
+		if headroom < 5 {
+			headroom = 5
+		}
+		cfg.Slots = quota - headroom
+		if cfg.Slots < 1 {
+			cfg.Slots = 1
+		}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = rt.metrics
+	}
+	gate, err := admission.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	now := rt.env.Now()
+	for _, w := range workload.IDs() {
+		var sum float64
+		var n int
+		for _, az := range rt.store.Zones() {
+			ch, ok := rt.store.Get(az, now)
+			if !ok {
+				continue
+			}
+			if ms, ok := rt.perf.ExpectedMS(w, ch.Dist()); ok && ms > 0 {
+				sum += ms
+				n++
+			}
+		}
+		if n > 0 {
+			gate.Seed(w, sum/float64(n))
+		}
+	}
+	rt.gate = gate
+	return gate, nil
+}
+
+// Admission returns the overload-control gate (nil until EnableAdmission).
+func (rt *Runtime) Admission() *admission.Controller { return rt.gate }
 
 // RefreshPassive updates the store from passive observations wherever at
 // least minSamples instances were seen within the collector window. It

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"skyfaas/internal/admission"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/faas"
+	"skyfaas/internal/load"
+	"skyfaas/internal/rng"
+	"skyfaas/internal/sampler"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/tablefmt"
+	"skyfaas/internal/workload"
+)
+
+// EX-8 — the throughput/latency frontier under overload, with and without
+// admission control. A single zone with a deliberately small concurrency
+// quota is driven by an open-loop arrival schedule swept from well under to
+// well past the gate's estimated capacity. The no-admission arm does what
+// naive clients do: retry throttles with exponential backoff, which under
+// sustained overload turns into a retry storm — served latency inflates
+// with accumulated backoffs and the excess eventually burns its whole
+// attempt budget and errors out. The admission arm consults the
+// characterization-seeded gate first: excess arrivals are shed immediately
+// (the HTTP layer's typed 429), admitted work runs against a capped
+// concurrency that never reaches the quota, and the served-latency tail
+// stays flat while goodput holds at capacity.
+
+// EX8NoAdmission and EX8Admission label the two arms.
+const (
+	EX8NoAdmission = "no-admission"
+	EX8Admission   = "admission"
+)
+
+// EX8Config parameterizes EX-8.
+type EX8Config struct {
+	Seed uint64
+	// Zone is the single zone under load (default us-west-1a).
+	Zone string
+	// Workload under test (default sha1_hash: CPU-bound, ~1s service time,
+	// so a small quota saturates at a low, easily swept rate).
+	Workload workload.ID
+	// Quota is the per-account concurrent execution limit — the scarce
+	// resource overload contends for (default 60).
+	Quota int
+	// Duration is the measured load span per cell (default 30s virtual).
+	Duration time.Duration
+	// Multiples are the offered-rate sweep points as fractions of the
+	// gate's estimated capacity (default 0.5×–3×).
+	Multiples []float64
+	// InitPolls is the characterization depth that seeds the gate's
+	// service-time estimates (default 2).
+	InitPolls int
+	// ProfileRuns trains the perf model before the gate is seeded and
+	// doubles as warmup for the zone's instance pool (default 240).
+	ProfileRuns int
+	// Retry is the client's transient-failure policy; it only matters in
+	// the no-admission arm, where throttles are retried (default 6
+	// attempts, 50ms base backoff, doubling).
+	Retry faas.RetryPolicy
+	// Sampler overrides the polling configuration. The default is scaled
+	// to fit the small quota so characterization itself isn't throttled
+	// into vacuity.
+	Sampler sampler.Config
+}
+
+func (c EX8Config) withDefaults() EX8Config {
+	if c.Zone == "" {
+		c.Zone = "us-west-1a"
+	}
+	if c.Workload == 0 {
+		c.Workload = workload.Sha1Hash
+	}
+	if c.Quota == 0 {
+		c.Quota = 60
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if len(c.Multiples) == 0 {
+		c.Multiples = []float64{0.5, 1, 1.5, 2, 2.5, 3}
+	}
+	if c.InitPolls == 0 {
+		c.InitPolls = 2
+	}
+	if c.ProfileRuns == 0 {
+		c.ProfileRuns = 240
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry = faas.RetryPolicy{MaxAttempts: 6, BaseBackoff: 50 * time.Millisecond}
+	}
+	if c.Sampler.Endpoints == 0 {
+		c.Sampler = sampler.Config{
+			Endpoints: 40, PollSize: 50, Branch: 7,
+			InterPollPause: 500 * time.Millisecond,
+		}
+	}
+	return c
+}
+
+// Reduced returns a benchmark-scale EX-8.
+func (c EX8Config) Reduced() EX8Config {
+	c = c.withDefaults()
+	c.Quota = 30
+	c.Duration = 12 * time.Second
+	c.Multiples = []float64{0.5, 1, 2, 3}
+	c.ProfileRuns = 120
+	return c
+}
+
+// EX8Cell is one (arm, offered rate) measurement.
+type EX8Cell struct {
+	Arm string
+	// Multiple is the offered rate as a fraction of estimated capacity.
+	Multiple float64
+	// CapacityRPS is the gate's capacity estimate in this cell's world;
+	// determinism makes it identical across cells, and RunEX8 checks that.
+	CapacityRPS float64
+	// Report is the load digest: goodput, shed/error breakdown, latency
+	// quantiles of served requests.
+	Report load.Report
+}
+
+// EX8Result carries the frontier: cells in (arm, multiple) sweep order.
+type EX8Result struct {
+	Workload workload.ID
+	Zone     string
+	Quota    int
+	// CapacityRPS is the admission gate's estimated per-function capacity
+	// that the sweep multiples scale.
+	CapacityRPS float64
+	Cells       []EX8Cell
+}
+
+// Cell returns the named arm's measurement at the given multiple.
+func (r EX8Result) Cell(arm string, multiple float64) (EX8Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Arm == arm && c.Multiple == multiple {
+			return c, true
+		}
+	}
+	return EX8Cell{}, false
+}
+
+// RunEX8 executes EX-8.
+func RunEX8(cfg EX8Config) (EX8Result, error) {
+	cfg = cfg.withDefaults()
+	res := EX8Result{Workload: cfg.Workload, Zone: cfg.Zone, Quota: cfg.Quota}
+	for _, arm := range []string{EX8NoAdmission, EX8Admission} {
+		for _, m := range cfg.Multiples {
+			cell, err := runEX8Cell(cfg, arm, m)
+			if err != nil {
+				return EX8Result{}, fmt.Errorf("ex8: %s %gx: %w", arm, m, err)
+			}
+			if res.CapacityRPS == 0 {
+				res.CapacityRPS = cell.CapacityRPS
+			} else if res.CapacityRPS != cell.CapacityRPS {
+				// Same seed, same setup — a drifting estimate means the cell
+				// worlds diverged, which would invalidate the comparison.
+				return EX8Result{}, fmt.Errorf("ex8: capacity estimate drifted across cells: %v vs %v",
+					res.CapacityRPS, cell.CapacityRPS)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// runEX8Cell measures one arm at one offered rate in a fresh world:
+// identical seed, identical characterization and warmup — only whether the
+// admission gate is consulted differs.
+func runEX8Cell(cfg EX8Config, arm string, multiple float64) (EX8Cell, error) {
+	rt, err := core.New(core.Config{
+		Seed:       cfg.Seed,
+		Epoch:      defaultEpoch,
+		SamplerCfg: cfg.Sampler,
+		CloudOpts:  cloudsim.Options{Quota: cfg.Quota, HorizonDays: 2},
+		SkipMesh:   true,
+	})
+	if err != nil {
+		return EX8Cell{}, err
+	}
+	cell := EX8Cell{Arm: arm, Multiple: multiple}
+	gateOn := arm == EX8Admission
+	err = rt.Do(func(p *sim.Proc) error {
+		// Characterize the zone and train the perf model, then seed the gate
+		// from both — the same estimate pipeline skyd uses. The gate is built
+		// in every cell so the capacity estimate (and hence the offered rate)
+		// is byte-identical across arms; the no-admission arm just never
+		// consults it.
+		if _, err := rt.Refresh(p, []string{cfg.Zone}, cfg.InitPolls); err != nil {
+			return err
+		}
+		if _, err := rt.ProfileWorkloads(p, []workload.ID{cfg.Workload}, []string{cfg.Zone}, cfg.ProfileRuns); err != nil {
+			return err
+		}
+		gate, err := rt.EnableAdmission(admission.Config{})
+		if err != nil {
+			return err
+		}
+		cell.CapacityRPS = gate.CapacityRPS(cfg.Workload)
+		if cell.CapacityRPS <= 0 {
+			return fmt.Errorf("no capacity estimate for %s", cfg.Workload)
+		}
+
+		ep, ok := rt.Mesh().Lookup(cfg.Zone, 4096, cpu.X86)
+		if !ok {
+			return fmt.Errorf("no mesh endpoint in %s", cfg.Zone)
+		}
+		offered := multiple * cell.CapacityRPS
+		sched := load.Schedule{Pattern: load.Constant, PeakRPS: offered, Duration: cfg.Duration}
+		if err := sched.Validate(); err != nil {
+			return err
+		}
+		arrivals := sched.Arrivals(rng.New(cfg.Seed).Split("ex8/arrivals"))
+		if len(arrivals) == 0 {
+			return errors.New("empty arrival schedule")
+		}
+
+		env := rt.Env()
+		client := rt.Client()
+		rec := load.NewRecorder()
+		start := env.Now()
+		remaining := len(arrivals)
+		drained := sim.NewEvent(env)
+		finish := func() {
+			if remaining--; remaining == 0 {
+				drained.Trigger(nil)
+			}
+		}
+		spec := faas.InvokeSpec{
+			Call: faas.Call{
+				AZ:       cfg.Zone,
+				Function: ep.Function,
+				Work:     cloudsim.WorkBehavior{Workload: cfg.Workload},
+			},
+			Retry: cfg.Retry,
+		}
+		for _, at := range arrivals {
+			env.Schedule(at, func() {
+				rec.Begin()
+				var ticket admission.Ticket
+				if gateOn {
+					tk, admitErr := gate.Admit(env.Now(), cfg.Workload, 1)
+					if admitErr != nil {
+						var shed *admission.ShedError
+						if errors.As(admitErr, &shed) {
+							rec.RecordRetryAfter(shed.RetryAfter)
+						}
+						// Shedding is a local decision: its latency is the
+						// gate check itself, effectively zero.
+						rec.Record(load.Shed, 0)
+						finish()
+						return
+					}
+					ticket = tk
+				}
+				sent := env.Now()
+				env.Go("ex8-req", func(rp *sim.Proc) error {
+					resp := client.Do(rp, spec)
+					end := env.Now()
+					if gateOn {
+						gate.Done(ticket, end, resp.BilledMS, resp.OK())
+					}
+					latMS := float64(end.Sub(sent)) / float64(time.Millisecond)
+					if resp.OK() {
+						rec.Record(load.OK, latMS)
+					} else {
+						rec.Record(load.Errored, latMS)
+					}
+					finish()
+					return nil
+				})
+			})
+		}
+		p.Wait(drained)
+		cell.Report = rec.Report(offered, env.Now().Sub(start))
+		return nil
+	})
+	if err != nil {
+		return EX8Cell{}, err
+	}
+	return cell, nil
+}
+
+// Render produces the frontier report.
+func (r EX8Result) Render() string {
+	out := fmt.Sprintf("EX-8 — throughput/latency frontier under overload (%s in %s, quota %d, est. capacity %.1f rps)\n\n",
+		r.Workload, r.Zone, r.Quota, r.CapacityRPS)
+	t := tablefmt.New("arm", "xcap", "offered", "goodput", "served", "shed", "errors", "p50 ms", "p99 ms")
+	for _, c := range r.Cells {
+		rep := c.Report
+		t.Row(c.Arm, fmt.Sprintf("%.1fx", c.Multiple),
+			fmt.Sprintf("%.1f", rep.OfferedRPS), fmt.Sprintf("%.1f", rep.GoodputRPS),
+			rep.OK, fmt.Sprintf("%d (%s)", rep.Shed, tablefmt.Pct(rep.ShedRate)),
+			fmt.Sprintf("%d (%s)", rep.Errors, tablefmt.Pct(rep.ErrorRate)),
+			fmt.Sprintf("%.0f", rep.Latency.P50), fmt.Sprintf("%.0f", rep.Latency.P99))
+	}
+	out += t.String()
+	naive, okN := r.Cell(EX8NoAdmission, 2)
+	gated, okG := r.Cell(EX8Admission, 2)
+	if okN && okG && gated.Report.Latency.P99 > 0 {
+		out += fmt.Sprintf("\nheadline: at 2x capacity the gate shed %s of arrivals and held served p99 at %.0f ms; the retry-storm arm reached %.0f ms (%.1fx) with %s hard errors\n",
+			tablefmt.Pct(gated.Report.ShedRate), gated.Report.Latency.P99,
+			naive.Report.Latency.P99, naive.Report.Latency.P99/gated.Report.Latency.P99,
+			tablefmt.Pct(naive.Report.ErrorRate))
+	}
+	return out
+}
+
+// WriteCSV writes the frontier table as one dataset.
+func (r EX8Result) WriteCSV(dir string) error {
+	t := tablefmt.New("arm", "multiple", "offered_rps", "goodput_rps", "achieved_rps",
+		"requests", "ok", "shed", "errors", "p50_ms", "p90_ms", "p95_ms", "p99_ms", "max_inflight")
+	for _, c := range r.Cells {
+		rep := c.Report
+		t.Row(c.Arm, c.Multiple, rep.OfferedRPS, rep.GoodputRPS, rep.AchievedRPS,
+			rep.Requests, rep.OK, rep.Shed, rep.Errors,
+			rep.Latency.P50, rep.Latency.P90, rep.Latency.P95, rep.Latency.P99, rep.MaxInFlight)
+	}
+	return writeCSVFile(dir, "ex8_frontier.csv", t)
+}

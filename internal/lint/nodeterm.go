@@ -13,6 +13,8 @@ var nodetermScope = []string{
 	"internal/router",
 	"internal/experiments",
 	"internal/refresh",
+	"internal/admission",
+	"internal/load",
 }
 
 // nodetermTimeFuncs are the wall-clock entry points of package time that

@@ -1,0 +1,22 @@
+// Package admission is a skylint fixture: the overload-control gate serves
+// both the live skyd (wall time) and EX-8 (virtual time), so every decision
+// takes an explicit `now` from the caller — the package itself must never
+// read a clock (nodeterm).
+package admission
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Admit stamps the ticket off the wall clock — forbidden: the caller passes
+// now, real for skyd, virtual for experiments.
+func Admit() time.Time {
+	return time.Now() //want nodeterm
+}
+
+// RetryJitter spreads Retry-After hints with global randomness — forbidden:
+// schedule-dependent draws make same-seed runs diverge.
+func RetryJitter(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base))) //want nodeterm
+}

@@ -1,0 +1,208 @@
+package load
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skyfaas/internal/rng"
+	"skyfaas/internal/workload"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{PeakRPS: 10, Duration: time.Minute}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{PeakRPS: 0, Duration: time.Minute},
+		{PeakRPS: 10, Duration: 0},
+		{PeakRPS: 10, BaseRPS: 20, Duration: time.Minute, Pattern: Ramp},
+		{PeakRPS: 10, Duration: time.Minute, Pattern: "sawtooth"},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestConstantArrivalCount(t *testing.T) {
+	s := Schedule{Pattern: Constant, PeakRPS: 50, Duration: 10 * time.Second}
+	got := s.Arrivals(nil)
+	if want := 500; len(got) != want {
+		t.Fatalf("constant 50rps x 10s: %d arrivals, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+	if last := got[len(got)-1]; last >= s.Duration {
+		t.Errorf("arrival %v beyond duration %v", last, s.Duration)
+	}
+}
+
+func TestRampArrivalCount(t *testing.T) {
+	s := Schedule{Pattern: Ramp, BaseRPS: 0, PeakRPS: 100, Duration: 10 * time.Second}
+	got := s.Arrivals(nil)
+	// Mean rate 50 rps over 10s.
+	if n := len(got); n < 495 || n > 505 {
+		t.Fatalf("ramp 0->100rps x 10s: %d arrivals, want ~500", n)
+	}
+	// The second half must carry more arrivals than the first.
+	half := s.Duration / 2
+	first := 0
+	for _, a := range got {
+		if a < half {
+			first++
+		}
+	}
+	if first*2 >= len(got) {
+		t.Errorf("ramp front-loaded: %d of %d arrivals in first half", first, len(got))
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	s := Schedule{Pattern: Diurnal, BaseRPS: 10, PeakRPS: 90, Duration: 24 * time.Hour}
+	if r := s.Rate(0); math.Abs(r-10) > 1e-9 {
+		t.Errorf("trough rate = %v, want 10", r)
+	}
+	if r := s.Rate(12 * time.Hour); math.Abs(r-90) > 1e-9 {
+		t.Errorf("peak rate = %v, want 90", r)
+	}
+	if r := s.OfferedRPS(); math.Abs(r-50) > 1e-9 {
+		t.Errorf("mean rate = %v, want 50", r)
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	s := Schedule{Pattern: Diurnal, BaseRPS: 5, PeakRPS: 40, Duration: time.Minute}
+	a := s.Arrivals(rng.New(7).Split("arrivals"))
+	b := s.Arrivals(rng.New(7).Split("arrivals"))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different arrival schedules")
+	}
+	c := s.Arrivals(rng.New(8).Split("arrivals"))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical jittered schedules")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("sha1_hash=3, thumbnailer")
+	if err != nil {
+		t.Fatalf("ParseMix: %v", err)
+	}
+	want := Mix{
+		{Workload: workload.Sha1Hash, Weight: 3},
+		{Workload: workload.Thumbnailer, Weight: 1},
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("mix = %+v, want %+v", m, want)
+	}
+	if _, err := ParseMix("no_such_fn"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := ParseMix("sha1_hash=-1"); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := ParseMix(""); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestMixPick(t *testing.T) {
+	m, _ := ParseMix("sha1_hash=9,thumbnailer=1")
+	if got := m.Pick(nil); got != workload.Sha1Hash {
+		t.Errorf("nil-stream pick = %v, want heaviest sha1_hash", got)
+	}
+	stream := rng.New(3).Split("mix")
+	counts := map[workload.ID]int{}
+	for i := 0; i < 1000; i++ {
+		counts[m.Pick(stream)]++
+	}
+	if counts[workload.Sha1Hash] < 800 {
+		t.Errorf("weighted pick skew: %v", counts)
+	}
+	if counts[workload.Thumbnailer] == 0 {
+		t.Error("light entry never picked")
+	}
+}
+
+func TestRecorderReport(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 80; i++ {
+		r.Begin()
+		r.Record(OK, 100)
+	}
+	for i := 0; i < 15; i++ {
+		r.Begin()
+		r.Record(Shed, 2)
+		r.RecordRetryAfter(500 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		r.Begin()
+		r.Record(Errored, 50)
+	}
+	rep := r.Report(10, 10*time.Second)
+	if rep.Requests != 100 || rep.OK != 80 || rep.Shed != 15 || rep.Errors != 5 {
+		t.Fatalf("counts wrong: %+v", rep)
+	}
+	if math.Abs(rep.AchievedRPS-10) > 1e-9 || math.Abs(rep.GoodputRPS-8) > 1e-9 {
+		t.Errorf("rates wrong: achieved %v goodput %v", rep.AchievedRPS, rep.GoodputRPS)
+	}
+	if math.Abs(rep.ShedRate-0.15) > 1e-9 {
+		t.Errorf("shed rate = %v, want 0.15", rep.ShedRate)
+	}
+	if math.Abs(rep.MeanRetryAfterMS-500) > 1e-9 {
+		t.Errorf("mean retry-after = %v, want 500", rep.MeanRetryAfterMS)
+	}
+	if rep.Latency.Count != 80 {
+		t.Errorf("latency digest over %d requests, want served 80", rep.Latency.Count)
+	}
+	out := rep.Render()
+	for _, want := range []string{"offered RPS", "shed (429)", "latency p99 ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines; run with
+// -race this is the skyload-recorder race test the issue calls for.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Begin()
+				switch i % 3 {
+				case 0:
+					r.Record(OK, float64(i%200+1))
+				case 1:
+					r.Record(Shed, 1)
+					r.RecordRetryAfter(time.Duration(i%100) * time.Millisecond)
+				default:
+					r.Record(Errored, 10)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := r.Report(100, time.Minute)
+	if want := uint64(workers * perWorker); rep.Requests != want {
+		t.Fatalf("requests = %d, want %d", rep.Requests, want)
+	}
+	if rep.MaxInFlight < 1 || rep.MaxInFlight > workers {
+		t.Errorf("max in-flight = %d, want within [1, %d]", rep.MaxInFlight, workers)
+	}
+}

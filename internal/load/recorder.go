@@ -1,0 +1,163 @@
+package load
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"skyfaas/internal/metrics"
+	"skyfaas/internal/tablefmt"
+)
+
+// Outcome classifies one completed request.
+type Outcome string
+
+// The request outcomes a Recorder distinguishes.
+const (
+	// OK is a successfully served request.
+	OK Outcome = "ok"
+	// Shed is a request the admission gate rejected (HTTP 429).
+	Shed Outcome = "shed"
+	// Errored is any other failure (transport error, 5xx, timeout).
+	Errored Outcome = "error"
+)
+
+// LatencyBuckets are the log-spaced histogram bounds (milliseconds) every
+// load report uses: 1ms × 1.5^i up to ~3.8 minutes, fine enough near typical
+// FaaS service times and wide enough for retry-inflated tails.
+func LatencyBuckets() []float64 { return metrics.ExpBuckets(1, 1.5, 31) }
+
+// Recorder accumulates per-request results. All methods are safe for
+// concurrent use — skyload fires one goroutine per in-flight request — and
+// rely on the atomic histogram/counter primitives, so recording never takes
+// a lock on the request path.
+type Recorder struct {
+	ok      *metrics.Histogram // latency of served requests (ms)
+	shed    *metrics.Histogram // latency of shed requests (ms)
+	errored *metrics.Histogram // latency of failed requests (ms)
+
+	retryAfterMS metrics.Counter // sum of server-suggested Retry-After (ms)
+	inflight     atomic.Int64
+	maxInflight  atomic.Int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		ok:      metrics.NewHistogram(LatencyBuckets()),
+		shed:    metrics.NewHistogram(LatencyBuckets()),
+		errored: metrics.NewHistogram(LatencyBuckets()),
+	}
+}
+
+// Begin notes a request entering flight and returns the new in-flight count.
+func (r *Recorder) Begin() int64 {
+	n := r.inflight.Add(1)
+	for {
+		max := r.maxInflight.Load()
+		if n <= max || r.maxInflight.CompareAndSwap(max, n) {
+			return n
+		}
+	}
+}
+
+// Record notes a completed request: its outcome and end-to-end latency.
+// Every Begin must be paired with exactly one Record.
+func (r *Recorder) Record(o Outcome, latencyMS float64) {
+	r.inflight.Add(-1)
+	switch o {
+	case Shed:
+		r.shed.Observe(latencyMS)
+	case Errored:
+		r.errored.Observe(latencyMS)
+	default:
+		r.ok.Observe(latencyMS)
+	}
+}
+
+// RecordRetryAfter accumulates a shed response's Retry-After hint so the
+// report can quote the mean backoff the server asked for.
+func (r *Recorder) RecordRetryAfter(d time.Duration) {
+	r.retryAfterMS.Add(uint64(d.Milliseconds()))
+}
+
+// Report digests the recorder into a results report. offeredRPS is the
+// generator's intended mean rate; elapsed is the measured span the rates are
+// computed over.
+func (r *Recorder) Report(offeredRPS float64, elapsed time.Duration) Report {
+	ok := r.ok.Snapshot().Summary()
+	shed := r.shed.Snapshot().Summary()
+	errored := r.errored.Snapshot().Summary()
+	rep := Report{
+		OfferedRPS:  offeredRPS,
+		ElapsedSec:  elapsed.Seconds(),
+		Requests:    ok.Count + shed.Count + errored.Count,
+		OK:          ok.Count,
+		Shed:        shed.Count,
+		Errors:      errored.Count,
+		Latency:     ok,
+		ShedLat:     shed,
+		MaxInFlight: r.maxInflight.Load(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / sec
+		rep.GoodputRPS = float64(rep.OK) / sec
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	if rep.Shed > 0 {
+		rep.MeanRetryAfterMS = float64(r.retryAfterMS.Value()) / float64(rep.Shed)
+	}
+	return rep
+}
+
+// Report is one load run's results: achieved throughput, the latency digest
+// of served requests, and the shed/error breakdown. It marshals directly to
+// the skyload -json output.
+type Report struct {
+	OfferedRPS  float64 `json:"offeredRPS"`
+	AchievedRPS float64 `json:"achievedRPS"` // completions (any outcome) / sec
+	GoodputRPS  float64 `json:"goodputRPS"`  // served requests / sec
+	ElapsedSec  float64 `json:"elapsedSec"`
+
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+
+	ShedRate  float64 `json:"shedRate"`
+	ErrorRate float64 `json:"errorRate"`
+
+	// Latency digests served requests only; ShedLat shows how fast the
+	// server turned away the rest (sheds should be cheap).
+	Latency metrics.Summary `json:"latencyMS"`
+	ShedLat metrics.Summary `json:"shedLatencyMS"`
+
+	MeanRetryAfterMS float64 `json:"meanRetryAfterMS"`
+	MaxInFlight      int64   `json:"maxInFlight"`
+}
+
+// Render formats the report as the human-readable results table.
+func (r Report) Render() string {
+	t := tablefmt.New("metric", "value")
+	t.Row("offered RPS", fmt.Sprintf("%.2f", r.OfferedRPS))
+	t.Row("achieved RPS", fmt.Sprintf("%.2f", r.AchievedRPS))
+	t.Row("goodput RPS", fmt.Sprintf("%.2f", r.GoodputRPS))
+	t.Row("requests", fmt.Sprintf("%d", r.Requests))
+	t.Row("served", fmt.Sprintf("%d", r.OK))
+	t.Row("shed (429)", fmt.Sprintf("%d (%s)", r.Shed, tablefmt.Pct(r.ShedRate)))
+	t.Row("errors", fmt.Sprintf("%d (%s)", r.Errors, tablefmt.Pct(r.ErrorRate)))
+	t.Row("latency p50 ms", fmt.Sprintf("%.1f", r.Latency.P50))
+	t.Row("latency p90 ms", fmt.Sprintf("%.1f", r.Latency.P90))
+	t.Row("latency p95 ms", fmt.Sprintf("%.1f", r.Latency.P95))
+	t.Row("latency p99 ms", fmt.Sprintf("%.1f", r.Latency.P99))
+	t.Row("latency mean ms", fmt.Sprintf("%.1f", r.Latency.Mean))
+	if r.Shed > 0 {
+		t.Row("shed p99 ms", fmt.Sprintf("%.1f", r.ShedLat.P99))
+		t.Row("mean retry-after ms", fmt.Sprintf("%.0f", r.MeanRetryAfterMS))
+	}
+	t.Row("max in-flight", fmt.Sprintf("%d", r.MaxInFlight))
+	return t.String()
+}

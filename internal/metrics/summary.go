@@ -1,0 +1,42 @@
+package metrics
+
+// Summary is the standard latency digest derived from one histogram
+// snapshot: count, mean, and the p50/p90/p95/p99 estimates every report in
+// this repository quotes. It exists so callers (skyload's results table, the
+// admission controller's service-time tracker, skyd handlers) share one
+// quantile derivation instead of each re-walking buckets.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// SummaryQuantiles are the quantiles a Summary carries, in field order.
+var SummaryQuantiles = []float64{0.50, 0.90, 0.95, 0.99}
+
+// Summary digests the snapshot into the standard percentile set.
+func (s HistSnapshot) Summary() Summary {
+	qs := s.Quantiles(SummaryQuantiles...)
+	return Summary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   qs[0],
+		P90:   qs[1],
+		P95:   qs[2],
+		P99:   qs[3],
+	}
+}
+
+// Quantiles estimates several quantiles in one pass over the snapshot,
+// returning them in argument order. Each estimate follows Quantile's
+// interpolation rules.
+func (s HistSnapshot) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.Quantile(q)
+	}
+	return out
+}

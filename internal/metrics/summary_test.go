@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 12))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	sum := h.Snapshot().Summary()
+	if sum.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", sum.Count)
+	}
+	if math.Abs(sum.Mean-500.5) > 0.01 {
+		t.Errorf("mean = %v, want 500.5", sum.Mean)
+	}
+	// Bucketed estimates are coarse; check ordering and ballpark.
+	if !(sum.P50 <= sum.P90 && sum.P90 <= sum.P95 && sum.P95 <= sum.P99) {
+		t.Errorf("quantiles not monotone: %+v", sum)
+	}
+	if sum.P50 < 250 || sum.P50 > 1000 {
+		t.Errorf("p50 = %v, want within the distribution", sum.P50)
+	}
+	if sum.P99 < sum.Mean {
+		t.Errorf("p99 = %v below mean %v", sum.P99, sum.Mean)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var h *Histogram
+	sum := h.Snapshot().Summary()
+	if sum.Count != 0 || sum.Mean != 0 || sum.P99 != 0 {
+		t.Errorf("empty summary not zero: %+v", sum)
+	}
+}
+
+func TestQuantilesMatchQuantile(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i % 97))
+	}
+	snap := h.Snapshot()
+	got := snap.Quantiles(0.5, 0.9, 0.99)
+	for i, q := range []float64{0.5, 0.9, 0.99} {
+		if want := snap.Quantile(q); got[i] != want {
+			t.Errorf("Quantiles[%d] = %v, Quantile(%v) = %v", i, got[i], q, want)
+		}
+	}
+}

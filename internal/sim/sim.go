@@ -23,6 +23,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -72,6 +73,13 @@ type Env struct {
 	procs   map[*Proc]struct{}
 	failure error
 	running bool
+	// fastForward, once set, makes RunPaced stop sleeping between events:
+	// the remaining queue drains at full speed. It is the one cross-thread
+	// input the kernel accepts — a shutdown knob for live servers whose
+	// queues hold pre-scheduled far-future events (the drift timeline)
+	// that would otherwise pace out for hours. It never reorders events,
+	// so determinism of the event sequence is unaffected.
+	fastForward atomic.Bool
 }
 
 // NewEnv returns an environment whose virtual clock starts at epoch.
@@ -116,6 +124,12 @@ func (e *Env) Run() error { return e.run(-1, 0) }
 // Blocked processes are left intact so a subsequent RunFor can resume them.
 func (e *Env) RunFor(d time.Duration) error { return e.run(e.now+d, 0) }
 
+// FinishFast makes a paced run (RunPaced) stop sleeping between events from
+// the next event on, so the remaining queue drains at full speed. Safe to
+// call from any goroutine, before or during the run; it is how a live
+// server shuts down promptly without abandoning queued work.
+func (e *Env) FinishFast() { e.fastForward.Store(true) }
+
 // RunPaced is Run with real-time pacing for demos: between consecutive
 // events the scheduler sleeps the virtual gap divided by speedup (e.g.
 // speedup=1000 plays one virtual second per wall millisecond).
@@ -143,7 +157,18 @@ func (e *Env) run(until time.Duration, speedup float64) error {
 		if gap := next.at - e.now; gap > 0 && speedup > 0 {
 			// RunPaced exists to map virtual gaps onto the wall clock for
 			// live demos; determinism of the event order is unaffected.
-			time.Sleep(time.Duration(float64(gap) / speedup)) //lint:allow nodeterm -- intentional wall-clock pacing
+			// Sleeping in short chunks keeps a long inter-event gap from
+			// delaying a FinishFast shutdown request.
+			const chunk = 25 * time.Millisecond
+			remaining := time.Duration(float64(gap) / speedup)
+			for remaining > 0 && !e.fastForward.Load() {
+				d := remaining
+				if d > chunk {
+					d = chunk
+				}
+				time.Sleep(d) //lint:allow nodeterm -- intentional wall-clock pacing
+				remaining -= d
+			}
 		}
 		e.now = next.at
 		next.fn()

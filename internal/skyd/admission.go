@@ -1,0 +1,85 @@
+package skyd
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"skyfaas/internal/admission"
+)
+
+// Overload-control admin surface. GET /v1/admission snapshots the gate
+// (slots, utilization, per-function capacity estimates); POST /v1/admission
+// retunes it (enable/disable, slots, utilization targets). Shedding itself
+// happens in the burst path: over-capacity requests answer 429 with a
+// Retry-After header and a typed JSON body (shedJS).
+
+// shedJS is the 429 body an admission rejection produces.
+type shedJS struct {
+	Error        string  `json:"error"`
+	Shed         bool    `json:"shed"` // discriminates from other error bodies
+	Workload     string  `json:"workload"`
+	RetryAfterMS float64 `json:"retryAfterMS"`
+	Inflight     int     `json:"inflight"`
+	Limit        int     `json:"limit"`
+	Utilization  float64 `json:"utilization"`
+}
+
+// writeShed answers a *ShedError as HTTP 429 with Retry-After (whole
+// seconds, rounded up, per RFC 9110) and the typed JSON body.
+func writeShed(w http.ResponseWriter, fn string, shed *admission.ShedError) {
+	secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, shedJS{
+		Error:        shed.Error(),
+		Shed:         true,
+		Workload:     fn,
+		RetryAfterMS: float64(shed.RetryAfter.Milliseconds()),
+		Inflight:     shed.Inflight,
+		Limit:        shed.Limit,
+		Utilization:  shed.Utilization,
+	})
+}
+
+// errAdmissionDisabled answers both endpoints when the server was built
+// without an admission configuration.
+var errAdmissionDisabled = fmt.Errorf("admission control not enabled (start skyd with an admission config)")
+
+func (s *Server) handleAdmissionStatus(w http.ResponseWriter, r *http.Request) {
+	gate := s.gate
+	if gate == nil {
+		writeErr(w, http.StatusConflict, errAdmissionDisabled)
+		return
+	}
+	// The controller is mutex-guarded, not simulation state: snapshot
+	// directly, no command round-trip.
+	writeJSON(w, http.StatusOK, gate.Snapshot())
+}
+
+func (s *Server) handleAdmissionControl(w http.ResponseWriter, r *http.Request) {
+	gate := s.gate
+	if gate == nil {
+		writeErr(w, http.StatusConflict, errAdmissionDisabled)
+		return
+	}
+	var req admission.Retune
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Enabled == nil && req.Slots == 0 && req.TargetUtil == 0 &&
+		req.PressureUtil == 0 && req.EWMAAlpha == 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("provide at least one of enabled, slots, targetUtil, pressureUtil, ewmaAlpha"))
+		return
+	}
+	if err := gate.Apply(req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, gate.Snapshot())
+}

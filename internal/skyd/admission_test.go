@@ -1,0 +1,176 @@
+package skyd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"skyfaas/internal/admission"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/sampler"
+)
+
+// newAdmissionServer builds a server with the overload gate enabled and a
+// deliberately tiny slot count so tests can saturate it with one burst.
+func newAdmissionServer(t *testing.T, slots int) *Server {
+	t.Helper()
+	rt, err := core.New(core.Config{
+		Seed: 11,
+		Catalog: []cloudsim.RegionSpec{{
+			Provider: cloudsim.AWS, Name: "t1", Loc: geo.Coord{Lat: 40, Lon: -80},
+			AZs: []cloudsim.AZSpec{
+				{Name: "t1-a", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon25: 1}},
+			},
+		}},
+		SamplerCfg: sampler.Config{
+			Endpoints: 30, PollSize: 84, Branch: 4,
+			Sleep: 100 * time.Millisecond, InterPollPause: 500 * time.Millisecond,
+		},
+		SkipMesh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Runtime:   rt,
+		Speedup:   5e6,
+		Admission: &admission.Config{Slots: slots, TargetUtil: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestAdmissionDisabled409(t *testing.T) {
+	s := newTestServer(t)
+	res, _ := do(t, s, "GET", "/v1/admission", nil)
+	if res.StatusCode != http.StatusConflict {
+		t.Fatalf("GET without admission: status %d, want 409", res.StatusCode)
+	}
+	res, _ = do(t, s, "POST", "/v1/admission", map[string]any{"slots": 10})
+	if res.StatusCode != http.StatusConflict {
+		t.Fatalf("POST without admission: status %d, want 409", res.StatusCode)
+	}
+}
+
+func TestAdmissionStatusAndRetune(t *testing.T) {
+	s := newAdmissionServer(t, 50)
+	res, body := do(t, s, "GET", "/v1/admission", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var snap admission.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled || snap.Slots != 50 || snap.TargetUtil != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	res, body = do(t, s, "POST", "/v1/admission", map[string]any{"targetUtil": 0.5})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("retune status %d: %s", res.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.TargetUtil != 0.5 || snap.Limit != 25 {
+		t.Fatalf("retuned snapshot = %+v", snap)
+	}
+
+	res, _ = do(t, s, "POST", "/v1/admission", map[string]any{"targetUtil": 3.0})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid retune status %d, want 400", res.StatusCode)
+	}
+	res, _ = do(t, s, "POST", "/v1/admission", map[string]any{})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty retune status %d, want 400", res.StatusCode)
+	}
+}
+
+func TestBurstShedsWith429(t *testing.T) {
+	s := newAdmissionServer(t, 5)
+	// A burst of 40 wants 40 slots against a 5-slot gate: typed 429.
+	res, body := do(t, s, "POST", "/v1/burst", map[string]any{
+		"workload": "sha1_hash", "strategy": "baseline", "az": "t1-a", "n": 40,
+	})
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", res.StatusCode, body)
+	}
+	if ra := res.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var shed shedJS
+	if err := json.Unmarshal(body, &shed); err != nil {
+		t.Fatal(err)
+	}
+	if !shed.Shed || shed.Workload != "sha1_hash" || shed.RetryAfterMS <= 0 {
+		t.Fatalf("shed body = %+v", shed)
+	}
+
+	// The gate books the shed and the snapshot reflects it.
+	_, body = do(t, s, "GET", "/v1/admission", nil)
+	var snap admission.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, fn := range snap.Functions {
+		if fn.Workload == "sha1_hash" && fn.Shed == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shed not booked: %+v", snap.Functions)
+	}
+
+	// Disabling the gate lets the same burst through, and completion feeds
+	// the service-time estimate.
+	if res, body := do(t, s, "POST", "/v1/admission", map[string]any{"enabled": false}); res.StatusCode != http.StatusOK {
+		t.Fatalf("disable: status %d: %s", res.StatusCode, body)
+	}
+	res, body = do(t, s, "POST", "/v1/burst", map[string]any{
+		"workload": "sha1_hash", "strategy": "baseline", "az": "t1-a", "n": 40,
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("disabled-gate burst: status %d: %s", res.StatusCode, body)
+	}
+	_, body = do(t, s, "GET", "/v1/admission", nil)
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range snap.Functions {
+		if fn.Workload == "sha1_hash" {
+			if fn.Admitted != 1 || fn.Inflight != 0 {
+				t.Fatalf("post-burst accounting: %+v", fn)
+			}
+			if fn.Observed.Count != 1 {
+				t.Fatalf("observed service time not recorded: %+v", fn)
+			}
+		}
+	}
+}
+
+func TestBurstAdmittedWithinCapacity(t *testing.T) {
+	s := newAdmissionServer(t, 200)
+	res, body := do(t, s, "POST", "/v1/burst", map[string]any{
+		"workload": "sha1_hash", "strategy": "baseline", "az": "t1-a", "n": 20,
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var out burstJS
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != 20 {
+		t.Fatalf("completed %d, want 20", out.Completed)
+	}
+}

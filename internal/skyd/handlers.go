@@ -1,10 +1,12 @@
 package skyd
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"skyfaas/internal/admission"
 	"skyfaas/internal/charact"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sim"
@@ -28,6 +30,8 @@ func (s *Server) routes() {
 	s.handle("GET /v1/faults", "/v1/faults", s.handleListFaults)
 	s.handle("GET /v1/refresh", "/v1/refresh", s.handleRefreshStatus)
 	s.handle("POST /v1/refresh", "/v1/refresh", s.handleRefreshControl)
+	s.handle("GET /v1/admission", "/v1/admission", s.handleAdmissionStatus)
+	s.handle("POST /v1/admission", "/v1/admission", s.handleAdmissionControl)
 	// Observability endpoints are deliberately uninstrumented: scrapes must
 	// stay readable without perturbing the numbers they report.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -320,6 +324,31 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 	if req.N <= 0 {
 		req.N = 100
 	}
+	// Overload control: the burst must clear the admission gate before it
+	// reaches the simulation — one slot per invocation, so a burst of N
+	// holds N. Over capacity the request sheds with a typed 429 instead of
+	// piling onto the provider quota and triggering retry storms.
+	var ticket admission.Ticket
+	if gate := s.gate; gate != nil {
+		tk, admitErr := gate.Admit(time.Now(), spec.ID, req.N)
+		if admitErr != nil {
+			var shed *admission.ShedError
+			if errors.As(admitErr, &shed) {
+				writeShed(w, spec.Name, shed)
+				return
+			}
+			writeErr(w, http.StatusInternalServerError, admitErr)
+			return
+		}
+		ticket = tk
+		// Batched routing under pressure: reuse the last good placement for
+		// this function instead of re-running the strategy per request.
+		if az, ok := gate.RouteFor(spec.ID, time.Now()); ok {
+			if pinned, perr := router.Build(router.StrategySpec{Name: "baseline", AZ: az}); perr == nil {
+				strat = pinned
+			}
+		}
+	}
 	var res router.BurstResult
 	err = s.Exec(func(p *sim.Proc) error {
 		got, err := s.rt.Run(p, router.BurstSpec{
@@ -331,6 +360,14 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 		res = got
 		return err
 	})
+	if gate := s.gate; gate != nil {
+		// Release the slots and feed the observed service time back into the
+		// Jindal-style capacity estimate.
+		gate.Done(ticket, time.Now(), res.MeanRunMS(), err == nil && res.Completed > 0)
+		if err == nil && res.AZ != "" {
+			gate.RememberRoute(spec.ID, res.AZ, time.Now())
+		}
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return

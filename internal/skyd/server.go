@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"skyfaas/internal/admission"
 	"skyfaas/internal/core"
 	"skyfaas/internal/metrics"
 	"skyfaas/internal/refresh"
@@ -52,6 +53,12 @@ type Config struct {
 	// endpoints answering 409 (unless the runtime already carries a
 	// maintainer, which the server adopts and stops on Close).
 	Refresh *refresh.Config
+	// Admission, when non-nil, enables the overload-control gate on the
+	// runtime: burst requests past estimated capacity answer 429 with
+	// Retry-After, and /v1/admission inspects and retunes the gate. Nil
+	// leaves the endpoints answering 409 (unless the runtime already
+	// carries a controller, which the server adopts).
+	Admission *admission.Config
 }
 
 // Server bridges HTTP onto a paced simulation.
@@ -67,6 +74,11 @@ type Server struct {
 	// (nil when refresh is disabled); Close must stop it or its
 	// self-rescheduling tick would keep the event queue alive forever.
 	refresher *refresh.Maintainer
+
+	// gate is the overload-control layer in the burst path (nil when
+	// admission is disabled). It needs no lifecycle management: it holds no
+	// events, only mutex-guarded state.
+	gate *admission.Controller
 
 	mux  *http.ServeMux
 	cmds chan func(p *sim.Proc)
@@ -122,6 +134,16 @@ func New(cfg Config) (*Server, error) {
 	} else if m := cfg.Runtime.Refresher(); m != nil {
 		// Adopt an externally enabled maintainer so Close can stop its tick.
 		s.refresher = m
+	}
+	if cfg.Admission != nil {
+		gate, err := cfg.Runtime.EnableAdmission(*cfg.Admission)
+		if err != nil {
+			return nil, err
+		}
+		s.gate = gate
+	} else if gate := cfg.Runtime.Admission(); gate != nil {
+		// Adopt an externally enabled controller.
+		s.gate = gate
 	}
 	s.routes()
 	go s.loop()
@@ -208,6 +230,12 @@ func (s *Server) Close() {
 		s.refresher.Stop()
 	}
 	close(s.stop)
+	// Drop the real-time pacing for the remaining queue: the cloud
+	// pre-schedules its whole drift timeline (HorizonDays of events), which
+	// at production speedups would otherwise pace out for hours before
+	// RunPaced drains. Outstanding work still runs to completion, just at
+	// full speed.
+	s.rt.Env().FinishFast()
 	s.mu.Unlock()
 	<-s.done
 }

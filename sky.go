@@ -31,11 +31,13 @@
 package sky
 
 import (
+	"skyfaas/internal/admission"
 	"skyfaas/internal/chaos"
 	"skyfaas/internal/charact"
 	"skyfaas/internal/cloudsim"
 	"skyfaas/internal/core"
 	"skyfaas/internal/faas"
+	"skyfaas/internal/load"
 	"skyfaas/internal/refresh"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sampler"
@@ -158,6 +160,41 @@ type (
 
 // RefreshModes lists the supported maintenance modes, in stable order.
 func RefreshModes() []RefreshMode { return refresh.Modes() }
+
+// Admission control (overload shedding) and open-loop load generation.
+type (
+	// AdmissionConfig tunes the overload-control gate; obtain a running
+	// gate with Runtime.EnableAdmission.
+	AdmissionConfig = admission.Config
+	// AdmissionController is the concurrency-limited admission gate.
+	AdmissionController = admission.Controller
+	// AdmissionTicket is one admitted request's accounting handle.
+	AdmissionTicket = admission.Ticket
+	// ShedError is the typed rejection an overloaded gate returns,
+	// carrying the Retry-After hint skyd surfaces as HTTP 429.
+	ShedError = admission.ShedError
+	// AdmissionSnapshot is a point-in-time view of the gate.
+	AdmissionSnapshot = admission.Snapshot
+	// LoadSchedule is a deterministic open-loop arrival schedule
+	// (constant, ramp, or diurnal RPS).
+	LoadSchedule = load.Schedule
+	// LoadMix is a weighted workload mix for generated traffic.
+	LoadMix = load.Mix
+	// LoadRecorder accumulates per-request outcomes into a LoadReport.
+	LoadRecorder = load.Recorder
+	// LoadReport is a load run's digest: goodput, latency quantiles, and
+	// the shed/error breakdown.
+	LoadReport = load.Report
+)
+
+// ErrShed matches any ShedError via errors.Is.
+var ErrShed = admission.ErrShed
+
+// ParseLoadMix parses a "name=weight,name=weight" workload mix.
+func ParseLoadMix(s string) (LoadMix, error) { return load.ParseMix(s) }
+
+// LoadPatterns lists the supported arrival patterns, in stable order.
+func LoadPatterns() []load.Pattern { return load.Patterns() }
 
 // Characterization machinery (RQ-1/RQ-2).
 type (
