@@ -3,15 +3,24 @@
 GO ?= go
 
 # Concurrency-sensitive packages that must stay race-clean. `make ci` and
-# .github/workflows/ci.yml both run exactly these targets — keep them in
-# sync so local runs and CI can't drift.
+# .github/workflows/ci.yml run exactly the same targets; the
+# internal/ciparity test asserts the two lists cannot drift.
 RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/
 
-.PHONY: all build vet fmt-check lint test race ci smoke-ex6 smoke-ex7 smoke-ex8 bench reproduce serve clean
+# Benchmark selection for `make bench` (regexp, per `go test -bench`).
+# Example: make bench BENCH_PATTERN='RouteHotPath|ShardedMesh'
+BENCH_PATTERN ?= .
+
+# The benchmark-regression gate's subjects and baselines (see cmd/benchcheck
+# and the README "Performance" section).
+BENCH_GATE_PATTERN = BenchmarkRouteHotPath$$|BenchmarkShardedMesh$$
+BENCH_BASELINES = -baseline BENCH_route.json -baseline BENCH_mesh.json
+
+.PHONY: all build vet fmt-check lint test race ci smoke-ex6 smoke-ex7 smoke-ex8 bench bench-check bench-baseline reproduce serve clean
 
 all: build vet lint test
 
-ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7 smoke-ex8
+ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7 smoke-ex8 bench-check
 
 # One reduced EX-6 pass: proves the chaos layer, resilient routing, and the
 # strategy registry compose end to end outside the test harness.
@@ -53,7 +62,21 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem ./...
+
+# Benchmark-regression gate: run the routing/mesh microbenchmarks a few
+# times and compare every reported metric against the checked-in baselines
+# (±25% drift tolerance; 0 allocs/op baselines are exact). The bench output
+# is kept in a file so a go test failure isn't masked by the pipe.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime 3x -benchmem . ./internal/router/ > bench_check_output.txt || (cat bench_check_output.txt; exit 1)
+	$(GO) run ./cmd/benchcheck $(BENCH_BASELINES) bench_check_output.txt
+
+# Refresh the gate baselines in place (run on the benchmark machine after a
+# deliberate performance change; review the diff like any other).
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime 3x -benchmem . ./internal/router/ > bench_check_output.txt || (cat bench_check_output.txt; exit 1)
+	$(GO) run ./cmd/benchcheck -update $(BENCH_BASELINES) bench_check_output.txt
 
 # Regenerate every paper table/figure at full scale (writes data/*.csv).
 reproduce:
@@ -66,4 +89,4 @@ serve:
 # reproduction artifacts (refreshed in place by `make reproduce`), so it
 # must survive a clean.
 clean:
-	rm -f skybench_full.txt test_output.txt bench_output.txt
+	rm -f skybench_full.txt test_output.txt bench_output.txt bench_check_output.txt

@@ -8,7 +8,10 @@ package sky
 // a compact reproduction summary.
 
 import (
+	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"skyfaas/internal/cpu"
 	"skyfaas/internal/experiments"
@@ -277,5 +280,56 @@ func BenchmarkEX8Frontier(b *testing.B) {
 			b.ReportMetric(c.Report.Latency.P99, "naive-p99-ms@2x")
 			b.ReportMetric(c.Report.ErrorRate*100, "naive-errors-%@2x")
 		}
+	}
+}
+
+// BenchmarkShardedMesh drives the EX-9 load — the full 41-region /
+// ~700-deployment default mesh under open-loop invocation chains in every
+// zone — through the single-queue and the 4-shard engines. Each iteration
+// simulates a fixed invocation count (SKY_MESH_INVOCATIONS overrides the
+// 40,000 default; the full-scale BENCH_mesh.json record uses 10,000,000)
+// and the headline metric is wall-clock invocations per second. On a
+// single-core host (GOMAXPROCS=1) the shards serialize, so sharded
+// throughput tracks the engine's synchronization overhead rather than its
+// parallel speedup; the speedup target needs >= 4 cores.
+func BenchmarkShardedMesh(b *testing.B) {
+	invocations := 40000
+	if s := os.Getenv("SKY_MESH_INVOCATIONS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			b.Fatalf("bad SKY_MESH_INVOCATIONS %q", s)
+		}
+		invocations = v
+	}
+	for _, arm := range []struct {
+		name   string
+		shards int
+	}{
+		{"single", 1},
+		{"sharded4", 4},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var inv int
+			var wall time.Duration
+			var sum uint64
+			for i := 0; i < b.N; i++ {
+				st, err := experiments.RunMeshLoad(experiments.MeshLoadConfig{
+					Seed:        5,
+					Shards:      arm.shards,
+					Invocations: invocations,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum != 0 && st.Checksum != sum {
+					b.Fatalf("nondeterministic mesh load: %016x then %016x", sum, st.Checksum)
+				}
+				sum = st.Checksum
+				inv += st.Invocations
+				wall += st.Wall
+			}
+			b.ReportMetric(float64(inv)/wall.Seconds(), "inv/s")
+			b.ReportMetric(float64(invocations), "inv/iter")
+		})
 	}
 }

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line: the name (GOMAXPROCS suffix
+// stripped, so baselines port across -cpu settings) and every measured
+// metric, ns/op included.
+type result struct {
+	name    string
+	iters   int
+	metrics map[string]float64
+}
+
+// benchLine matches `BenchmarkName-8  123  45.6 ns/op  7 B/op ...`.
+// go test left-pads columns with spaces and tabs; fields are
+// whitespace-split and metrics come in (value, unit) pairs after the
+// iteration count.
+var benchLine = regexp.MustCompile(`^Benchmark\S+`)
+
+// parseBenchOutput reads `go test -bench` output (any number of package
+// sections) and returns the benchmark results in order of appearance.
+func parseBenchOutput(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !benchLine.MatchString(line) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed bench line: %q", line)
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed iteration count in %q", line)
+		}
+		res := result{name: stripCPUSuffix(fields[0]), iters: iters, metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("malformed metric value in %q", line)
+			}
+			res.metrics[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func stripCPUSuffix(name string) string { return cpuSuffix.ReplaceAllString(name, "") }
+
+// baseline is one BENCH_*.json file. Benchmarks map bench name to its
+// recorded metrics; extra informational fields (command, notes, full-scale
+// records) ride along untouched so the file doubles as the human-readable
+// benchmark log the repo already keeps (see BENCH_ex8.json).
+type baseline struct {
+	// Tolerance is the allowed relative drift before a metric counts as a
+	// regression (default 0.25 = ±25%).
+	Tolerance  float64                       `json:"tolerance"`
+	GOMAXPROCS int                           `json:"gomaxprocs,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+
+	// extra preserves unknown keys across -update round trips.
+	extra map[string]json.RawMessage
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &all); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	b := &baseline{Tolerance: 0.25, extra: map[string]json.RawMessage{}}
+	for k, v := range all {
+		switch k {
+		case "tolerance":
+			if err := json.Unmarshal(v, &b.Tolerance); err != nil {
+				return nil, fmt.Errorf("%s: tolerance: %w", path, err)
+			}
+		case "gomaxprocs":
+			if err := json.Unmarshal(v, &b.GOMAXPROCS); err != nil {
+				return nil, fmt.Errorf("%s: gomaxprocs: %w", path, err)
+			}
+		case "benchmarks":
+			if err := json.Unmarshal(v, &b.Benchmarks); err != nil {
+				return nil, fmt.Errorf("%s: benchmarks: %w", path, err)
+			}
+		default:
+			b.extra[k] = v
+		}
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	if b.Tolerance <= 0 || b.Tolerance >= 1 {
+		return nil, fmt.Errorf("%s: tolerance %v out of (0,1)", path, b.Tolerance)
+	}
+	return b, nil
+}
+
+// higherBetter reports the metric's regression direction: rates regress by
+// falling, everything else by rising.
+func higherBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+type report struct {
+	lines  []string
+	failed bool
+}
+
+// compare checks every baseline benchmark against the run. A baseline
+// benchmark missing from the run is a failure — a gate that silently skips
+// rotted benchmarks is no gate.
+func (b *baseline) compare(results []result) report {
+	var rep report
+	byName := map[string]result{}
+	for _, r := range results {
+		byName[r.name] = r
+	}
+	if b.GOMAXPROCS != 0 && b.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		rep.lines = append(rep.lines, fmt.Sprintf(
+			"warning: baseline recorded at GOMAXPROCS=%d, running at %d — wall-clock drift expected; regenerate with -update if this host is the new benchmark machine",
+			b.GOMAXPROCS, runtime.GOMAXPROCS(0)))
+	}
+	names := make([]string, 0, len(b.Benchmarks))
+	for name := range b.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := b.Benchmarks[name]
+		got, ok := byName[name]
+		if !ok {
+			rep.failed = true
+			rep.lines = append(rep.lines, fmt.Sprintf("FAIL %s: in baseline but not in bench output", name))
+			continue
+		}
+		units := make([]string, 0, len(want))
+		for u := range want {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			base := want[unit]
+			cur, ok := got.metrics[unit]
+			if !ok {
+				rep.failed = true
+				rep.lines = append(rep.lines, fmt.Sprintf("FAIL %s: metric %q not reported", name, unit))
+				continue
+			}
+			if verdict, bad := judge(base, cur, unit, b.Tolerance); bad {
+				rep.failed = true
+				rep.lines = append(rep.lines, fmt.Sprintf("FAIL %s: %s %s", name, unit, verdict))
+			} else if verdict != "" {
+				rep.lines = append(rep.lines, fmt.Sprintf("note %s: %s %s", name, unit, verdict))
+			}
+		}
+	}
+	return rep
+}
+
+// judge compares one metric. Zero baselines are exact contracts (0
+// allocs/op means zero, not "up to 25% of zero").
+func judge(base, cur float64, unit string, tol float64) (string, bool) {
+	if base == 0 {
+		if cur > 0 && !higherBetter(unit) {
+			return fmt.Sprintf("pinned at 0, measured %g", cur), true
+		}
+		return "", false
+	}
+	drift := (cur - base) / base
+	regressed := drift > tol
+	if higherBetter(unit) {
+		regressed = drift < -tol
+	}
+	if regressed {
+		return fmt.Sprintf("baseline %g, measured %g (%+.0f%%, tolerance ±%.0f%%)",
+			base, cur, drift*100, tol*100), true
+	}
+	// Large improvements are worth a note: the baseline understates the
+	// current code and should be refreshed so the gate stays tight.
+	if (higherBetter(unit) && drift > tol) || (!higherBetter(unit) && drift < -tol) {
+		return fmt.Sprintf("improved past tolerance (baseline %g, measured %g) — consider -update", base, cur), false
+	}
+	return "", false
+}
+
+// update rewrites the baseline's recorded metrics (and gomaxprocs) from
+// the run, preserving tolerance and every informational field. Only
+// benchmarks already in the baseline are refreshed; new benchmarks are
+// added when the baseline file tracks nothing yet.
+func (b *baseline) update(results []result, path string) error {
+	byName := map[string]result{}
+	for _, r := range results {
+		byName[r.name] = r
+	}
+	for name, want := range b.Benchmarks {
+		got, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("cannot update %s: benchmark %s not in bench output", path, name)
+		}
+		for unit := range want {
+			cur, ok := got.metrics[unit]
+			if !ok {
+				return fmt.Errorf("cannot update %s: %s does not report %q", path, name, unit)
+			}
+			want[unit] = cur
+		}
+	}
+	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	out := map[string]any{
+		"tolerance":  b.Tolerance,
+		"gomaxprocs": b.GOMAXPROCS,
+		"benchmarks": b.Benchmarks,
+	}
+	for k, v := range b.extra {
+		out[k] = v
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

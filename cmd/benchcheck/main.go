@@ -1,0 +1,124 @@
+// Command benchcheck is the CI benchmark-regression gate: it parses `go
+// test -bench` output and compares every measured metric against a
+// checked-in BENCH_*.json baseline, failing when a metric regresses past
+// the baseline's tolerance.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... > out.txt
+//	benchcheck -baseline BENCH_route.json -baseline BENCH_mesh.json out.txt
+//	benchcheck -update -baseline BENCH_route.json out.txt   # rewrite numbers
+//
+// With no file argument the bench output is read from stdin. The tool is
+// stdlib-only by design — it must run in CI before anything else is built.
+//
+// Direction awareness: rate metrics (any unit ending in "/s") regress by
+// falling, everything else (ns/op, B/op, allocs/op, ...) regresses by
+// rising. A zero baseline is exact: a benchmark pinned at 0 allocs/op
+// fails the gate on the first allocation, tolerance notwithstanding.
+//
+// Baselines are per-host artifacts (wall-clock metrics move with the
+// hardware); regenerate them with -update when the benchmark machine
+// class changes. The `gomaxprocs` field records the host the numbers came
+// from; a mismatch with the current host is reported as a warning, not a
+// failure.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}
+
+func run(args []string, stdin *os.File, out *os.File) int {
+	cfg, err := parseArgs(args)
+	if err != nil {
+		fmt.Fprintln(out, "benchcheck:", err)
+		return 2
+	}
+	in := stdin
+	if cfg.input != "" {
+		f, err := os.Open(cfg.input)
+		if err != nil {
+			fmt.Fprintln(out, "benchcheck:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintln(out, "benchcheck:", err)
+		return 2
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(out, "benchcheck: no benchmark results in input")
+		return 2
+	}
+
+	failed := false
+	for _, path := range cfg.baselines {
+		base, err := loadBaseline(path)
+		if err != nil {
+			fmt.Fprintln(out, "benchcheck:", err)
+			return 2
+		}
+		if cfg.update {
+			if err := base.update(results, path); err != nil {
+				fmt.Fprintln(out, "benchcheck:", err)
+				return 2
+			}
+			fmt.Fprintf(out, "benchcheck: %s updated\n", path)
+			continue
+		}
+		report := base.compare(results)
+		for _, line := range report.lines {
+			fmt.Fprintf(out, "benchcheck: %s: %s\n", path, line)
+		}
+		if report.failed {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(out, "benchcheck: FAIL")
+		return 1
+	}
+	fmt.Fprintln(out, "benchcheck: ok")
+	return 0
+}
+
+type config struct {
+	baselines []string
+	update    bool
+	input     string
+}
+
+func parseArgs(args []string) (config, error) {
+	var cfg config
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-baseline", "--baseline":
+			i++
+			if i >= len(args) {
+				return cfg, fmt.Errorf("-baseline needs a file argument")
+			}
+			cfg.baselines = append(cfg.baselines, args[i])
+		case "-update", "--update":
+			cfg.update = true
+		case "-h", "-help", "--help":
+			return cfg, fmt.Errorf("usage: benchcheck [-update] -baseline BENCH_x.json [bench-output.txt]")
+		default:
+			if cfg.input != "" {
+				return cfg, fmt.Errorf("unexpected argument %q (one input file max)", args[i])
+			}
+			cfg.input = args[i]
+		}
+	}
+	if len(cfg.baselines) == 0 {
+		return cfg, fmt.Errorf("at least one -baseline required")
+	}
+	return cfg, nil
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: skyfaas/internal/router
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRouteHotPath/pinned-4         	     100	         4.410 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRouteHotPath/cheapest-4       	     100	         3.040 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	skyfaas/internal/router	0.004s
+pkg: skyfaas
+BenchmarkShardedMesh/single-4         	       3	 261738051 ns/op	     40000 inv/iter	    156004 inv/s
+BenchmarkShardedMesh/sharded4-4       	       3	 234739464 ns/op	     40000 inv/iter	    172629 inv/s
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	// The -4 GOMAXPROCS suffix is stripped so baselines port across hosts.
+	if results[0].name != "BenchmarkRouteHotPath/pinned" {
+		t.Errorf("name = %q", results[0].name)
+	}
+	if got := results[0].metrics["allocs/op"]; got != 0 {
+		t.Errorf("allocs/op = %v", got)
+	}
+	if got := results[3].metrics["inv/s"]; got != 172629 {
+		t.Errorf("inv/s = %v", got)
+	}
+	if results[3].iters != 3 {
+		t.Errorf("iters = %d", results[3].iters)
+	}
+}
+
+func TestParseBenchOutputRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-4\t100\n",            // no metrics
+		"BenchmarkX-4 100 4.1 ns/op 7\n", // dangling value
+		"BenchmarkX-4 lots 4.1 ns/op\n",  // bad iteration count
+		"BenchmarkX-4 100 fast ns/op\n",  // bad metric value
+	} {
+		if _, err := parseBenchOutput(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func writeBaseline(t *testing.T, dir string, b map[string]any) string {
+	t.Helper()
+	buf, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mustLoad(t *testing.T, path string) *baseline {
+	t.Helper()
+	b, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCompareDirections(t *testing.T) {
+	results, _ := parseBenchOutput(strings.NewReader(sampleOutput))
+	path := writeBaseline(t, t.TempDir(), map[string]any{
+		"tolerance": 0.25,
+		"benchmarks": map[string]map[string]float64{
+			// Within tolerance in the good direction and the bad one.
+			"BenchmarkShardedMesh/single": {"ns/op": 250000000, "inv/s": 150000},
+		},
+	})
+	if rep := mustLoad(t, path).compare(results); rep.failed {
+		t.Errorf("within-tolerance run failed: %v", rep.lines)
+	}
+
+	// ns/op regresses by rising...
+	path = writeBaseline(t, t.TempDir(), map[string]any{
+		"benchmarks": map[string]map[string]float64{
+			"BenchmarkShardedMesh/single": {"ns/op": 100000000},
+		},
+	})
+	if rep := mustLoad(t, path).compare(results); !rep.failed {
+		t.Error("2.6x ns/op regression passed")
+	}
+	// ...and inv/s regresses by falling.
+	path = writeBaseline(t, t.TempDir(), map[string]any{
+		"benchmarks": map[string]map[string]float64{
+			"BenchmarkShardedMesh/single": {"inv/s": 500000},
+		},
+	})
+	if rep := mustLoad(t, path).compare(results); !rep.failed {
+		t.Error("3x inv/s drop passed")
+	}
+	// A fast run against a slow ns/op baseline is an improvement, not a
+	// failure.
+	path = writeBaseline(t, t.TempDir(), map[string]any{
+		"benchmarks": map[string]map[string]float64{
+			"BenchmarkShardedMesh/single": {"ns/op": 900000000},
+		},
+	})
+	if rep := mustLoad(t, path).compare(results); rep.failed {
+		t.Errorf("improvement failed the gate: %v", rep.lines)
+	}
+}
+
+func TestCompareZeroAllocContractIsExact(t *testing.T) {
+	// 0.4 allocs/op would round within any relative tolerance of zero;
+	// the gate must treat a 0 baseline as exact.
+	out := "BenchmarkRouteHotPath/pinned-4 100 4.1 ns/op 0.4 allocs/op\n"
+	results, err := parseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeBaseline(t, t.TempDir(), map[string]any{
+		"benchmarks": map[string]map[string]float64{
+			"BenchmarkRouteHotPath/pinned": {"allocs/op": 0},
+		},
+	})
+	rep := mustLoad(t, path).compare(results)
+	if !rep.failed {
+		t.Error("nonzero allocs passed a 0 allocs/op baseline")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	results, _ := parseBenchOutput(strings.NewReader(sampleOutput))
+	path := writeBaseline(t, t.TempDir(), map[string]any{
+		"benchmarks": map[string]map[string]float64{
+			"BenchmarkDeleted": {"ns/op": 1},
+		},
+	})
+	rep := mustLoad(t, path).compare(results)
+	if !rep.failed {
+		t.Error("baseline benchmark missing from output passed")
+	}
+}
+
+func TestUpdateRewritesNumbersAndKeepsNotes(t *testing.T) {
+	results, _ := parseBenchOutput(strings.NewReader(sampleOutput))
+	path := writeBaseline(t, t.TempDir(), map[string]any{
+		"tolerance": 0.3,
+		"notes":     "hand-written context",
+		"benchmarks": map[string]map[string]float64{
+			"BenchmarkRouteHotPath/pinned": {"ns/op": 999, "allocs/op": 3},
+		},
+	})
+	b := mustLoad(t, path)
+	if err := b.update(results, path); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mustLoad(t, path)
+	got := b2.Benchmarks["BenchmarkRouteHotPath/pinned"]
+	if got["ns/op"] != 4.410 || got["allocs/op"] != 0 {
+		t.Errorf("metrics not refreshed: %v", got)
+	}
+	if b2.Tolerance != 0.3 {
+		t.Errorf("tolerance clobbered: %v", b2.Tolerance)
+	}
+	if b2.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d", b2.GOMAXPROCS)
+	}
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), "hand-written context") {
+		t.Error("informational field dropped on update")
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	cfg, err := parseArgs([]string{"-baseline", "a.json", "-baseline", "b.json", "out.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.baselines) != 2 || cfg.input != "out.txt" || cfg.update {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if _, err := parseArgs(nil); err == nil {
+		t.Error("no -baseline accepted")
+	}
+	if _, err := parseArgs([]string{"-baseline", "a.json", "x", "y"}); err == nil {
+		t.Error("two inputs accepted")
+	}
+}

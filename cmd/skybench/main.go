@@ -167,6 +167,14 @@ func registry() []experiment {
 			res, err := experiments.RunEX8(cfg)
 			return renderCSV(o, res, err)
 		}},
+		{"ex9", func(o benchOpts) (string, error) {
+			cfg := experiments.EX9Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX9(cfg)
+			return renderCSV(o, res, err)
+		}},
 	}
 }
 

@@ -104,7 +104,7 @@ func TestRegistryAgreesWithFlagText(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"table1", "ex1", "ex6", "ex7"} {
+	for _, want := range []string{"table1", "ex1", "ex6", "ex7", "ex9"} {
 		if !seen[want] {
 			t.Errorf("registry missing %s", want)
 		}
@@ -121,8 +121,8 @@ func TestRegistryAgreesWithFlagText(t *testing.T) {
 	}
 }
 
-// TestRunEx7Dispatch runs the newest registry entry end to end through the
-// CLI: the reduced EX-7 must render its table and write its dataset.
+// TestRunEx7Dispatch runs a mid-registry entry end to end through the CLI:
+// the reduced EX-7 must render its table and write its dataset.
 func TestRunEx7Dispatch(t *testing.T) {
 	dir := t.TempDir()
 	out, err := captureStdout(t, func() error {
@@ -137,6 +137,27 @@ func TestRunEx7Dispatch(t *testing.T) {
 		}
 	}
 	if _, err := os.Stat(filepath.Join(dir, "ex7_refresh.csv")); err != nil {
+		t.Errorf("csv not written: %v", err)
+	}
+}
+
+// TestRunEx9Dispatch runs the newest registry entry end to end through the
+// CLI: the reduced EX-9 must render its scalability table, prove the
+// engines agreed, and write its dataset.
+func TestRunEx9Dispatch(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-ex", "ex9", "-scale", "reduced", "-csvdir", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EX-9", "Shards", "deterministic across engines: yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ex9_scalability.csv")); err != nil {
 		t.Errorf("csv not written: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"skyfaas/internal/cpu"
 	"skyfaas/internal/rng"
+	"skyfaas/internal/sim"
 )
 
 // Host is one provisioned machine (a bare-metal instance hosting microVMs).
@@ -86,8 +87,12 @@ func (d *Deployment) vcpus() int {
 // AZ is the live state of one availability zone: a finite, slowly drifting
 // pool of heterogeneous hosts.
 type AZ struct {
-	cloud       *Cloud
-	region      *Region
+	cloud  *Cloud
+	region *Region
+	// env is the event shard this zone runs on (the region's shard). All of
+	// the zone's mutable state — pools, warm lists, fault flags, its rng
+	// stream — is only ever touched from events on this env.
+	env         *sim.Env
 	spec        AZSpec
 	rand        *rng.Stream
 	hosts       []*Host
@@ -108,6 +113,7 @@ func newAZ(c *Cloud, region *Region, spec AZSpec) *AZ {
 	az := &AZ{
 		cloud:       c,
 		region:      region,
+		env:         region.env,
 		spec:        spec,
 		rand:        c.root.Split("az/" + spec.Name),
 		deployments: make(map[string]*Deployment),
@@ -142,6 +148,10 @@ func (az *AZ) Name() string { return az.spec.Name }
 
 // Region returns the owning region.
 func (az *AZ) Region() *Region { return az.region }
+
+// Env returns the event shard the zone runs on. Anything that mutates zone
+// state (fault windows, drift bursts) must schedule here.
+func (az *AZ) Env() *sim.Env { return az.env }
 
 // Spec returns the zone's static specification.
 func (az *AZ) Spec() AZSpec { return az.spec }
@@ -312,7 +322,7 @@ func (az *AZ) releaseFI(fi *FI) {
 	fi.idleGen++
 	gen := fi.idleGen
 	fi.dep.warm = append(fi.dep.warm, fi)
-	az.cloud.env.Schedule(az.cloud.opts.KeepAlive, func() {
+	az.env.Schedule(az.cloud.opts.KeepAlive, func() {
 		if fi.destroyed || fi.busy || fi.idleGen != gen {
 			return
 		}
@@ -392,7 +402,7 @@ func (az *AZ) excursion() {
 			h.kind = az.drawKind(perturbed)
 		}
 	}
-	az.cloud.env.Schedule(55*time.Minute, func() {
+	az.env.Schedule(55*time.Minute, func() {
 		for _, s := range swapped {
 			if s.host.used == 0 {
 				s.host.kind = s.kind
@@ -488,7 +498,7 @@ func (az *AZ) maybeScaleUp() {
 		count = 1
 	}
 	hostFIs := az.spec.hostFIs()
-	az.cloud.env.Schedule(az.cloud.opts.ScaleUpDelay, func() {
+	az.env.Schedule(az.cloud.opts.ScaleUpDelay, func() {
 		for i := 0; i < count; i++ {
 			az.addHost(az.drawKind(mix), cpu.X86, hostFIs)
 		}

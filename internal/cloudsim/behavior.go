@@ -86,10 +86,12 @@ func (c *Ctx) Invoke(req Request) Response {
 
 // InvokeAsync starts a nested invocation and returns an event that triggers
 // with its Response; wait on it with Wait. Handlers use this to fan out
-// child invocations in parallel, as the sampler's branching tree does.
+// child invocations in parallel, as the sampler's branching tree does. The
+// child is invoked from this instance's zone, so its network path — and
+// under a sharded engine, the shard crossing — starts here.
 func (c *Ctx) InvokeAsync(req Request) *sim.Event {
-	ev := sim.NewEvent(c.cloud.env)
-	c.cloud.StartInvoke(req, func(r Response) { ev.Trigger(r) })
+	ev := sim.NewEvent(c.az.env)
+	c.cloud.StartInvokeFrom(c.az.env, req, func(r Response) { ev.Trigger(r) })
 	return ev
 }
 
@@ -118,8 +120,8 @@ func (c *Ctx) HostID() string { return c.fi.host.id }
 // Cold reports whether this invocation cold-started the instance.
 func (c *Ctx) Cold() bool { return c.cold }
 
-// Now returns the current virtual time.
-func (c *Ctx) Now() time.Time { return c.cloud.env.Now() }
+// Now returns the current virtual time on this instance's zone.
+func (c *Ctx) Now() time.Time { return c.az.env.Now() }
 
 // CacheHas reports whether a payload hash was already decoded on this
 // instance, and CachePut records one — the dynamic-function payload cache

@@ -41,11 +41,18 @@ func (p PriceModel) Cost(memoryMB int, runtimeMS float64) float64 {
 
 // Meter accumulates spend, grouped by a caller-chosen label (experiment
 // phase, policy name, account). Meters are safe for concurrent use so the
-// live-paced examples can share one across goroutines.
+// live-paced examples — and the sharded engine's parallel region shards —
+// can share one across goroutines.
+//
+// Charges accumulate per (label, bucket): the cloud buckets by region, so
+// each bucket only ever receives charges from one shard, in that shard's
+// deterministic event order. Totals sum buckets in sorted order, keeping
+// the floating-point result bit-identical regardless of how shard execution
+// interleaved.
 type Meter struct {
 	mu sync.Mutex
-	// byLabel is cumulative spend per label; guarded by mu.
-	byLabel map[string]float64
+	// byLabel is cumulative spend per label, split by bucket; guarded by mu.
+	byLabel map[string]map[string]float64
 	// requests counts charges per label; guarded by mu.
 	requests map[string]int
 }
@@ -53,24 +60,55 @@ type Meter struct {
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
 	return &Meter{
-		byLabel:  make(map[string]float64),
+		byLabel:  make(map[string]map[string]float64),
 		requests: make(map[string]int),
 	}
 }
 
-// Charge records cost under label.
+// Charge records cost under label in the default bucket.
 func (m *Meter) Charge(label string, cost float64) {
+	m.ChargeIn(label, "", cost)
+}
+
+// ChargeIn records cost under label in the named bucket. Callers that can
+// charge concurrently from several shards must use a bucket per shard-owned
+// domain (the cloud uses the region name) so per-bucket accumulation order
+// stays deterministic.
+func (m *Meter) ChargeIn(label, bucket string, cost float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.byLabel[label] += cost
+	buckets, ok := m.byLabel[label]
+	if !ok {
+		buckets = make(map[string]float64)
+		m.byLabel[label] = buckets
+	}
+	buckets[bucket] += cost
 	m.requests[label]++
 }
 
-// Total returns the cumulative spend under label.
+// Total returns the cumulative spend under label, summed over buckets in
+// sorted order so the float result is replay-stable.
 func (m *Meter) Total(label string) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.byLabel[label]
+	return sumBuckets(m.byLabel[label])
+}
+
+// sumBuckets adds a label's buckets in sorted key order. Callers hold mu.
+func sumBuckets(buckets map[string]float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += buckets[k]
+	}
+	return sum
 }
 
 // Requests returns the number of charges recorded under label.
@@ -93,7 +131,7 @@ func (m *Meter) GrandTotal() float64 {
 	sort.Strings(labels)
 	var sum float64
 	for _, label := range labels {
-		sum += m.byLabel[label]
+		sum += sumBuckets(m.byLabel[label])
 	}
 	return sum
 }

@@ -92,6 +92,13 @@ type AZSpec struct {
 type Region struct {
 	spec RegionSpec
 	azs  []*AZ
+	// env is the event shard this region's zones run on. In a single-queue
+	// cloud it is the cloud's env; under a sharded engine each region is
+	// pinned to one shard so all of its state stays single-threaded.
+	env *sim.Env
+	// inflight tracks per-account concurrent executions for quota purposes.
+	// Owned by the region's shard; never touched from another shard.
+	inflight map[string]int
 }
 
 // Spec returns the region's static description.
@@ -145,7 +152,10 @@ type Options struct {
 	Metrics *metrics.Registry
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns o with every zero field replaced by its paper
+// default; exported so engine builders can derive synchronization bounds
+// (the sharded lookahead) from the effective options.
+func (o Options) WithDefaults() Options {
 	if o.KeepAlive == 0 {
 		o.KeepAlive = 5 * time.Minute
 	}
@@ -185,13 +195,23 @@ type Cloud struct {
 	regionBy map[string]*Region
 	azBy     map[string]*AZ
 	prices   map[Provider]PriceModel
-	inflight map[string]int
 	meter    *Meter
-	latRand  *rng.Stream
+	// latRands holds one client-latency jitter stream per shard, indexed by
+	// the calling env's shard, so concurrent shards never interleave draws
+	// on a shared stream. A single-queue cloud has exactly one.
+	latRands []*rng.Stream
 }
 
 // New builds a cloud over env from the given catalog. A nil or empty
 // catalog means the full 41-region default world.
+//
+// When env belongs to a sim.Sharded group with more than one shard, the
+// cloud distributes regions round-robin over shards 1..N-1, keeping shard 0
+// (by convention env itself) free for client-side model code; every zone's
+// events then run on its region's shard, synchronized conservatively by the
+// network latency between client and region (the group lookahead must not
+// exceed IntraCloudRTT/2). With a plain env or a one-shard group everything
+// runs on env, byte-identical to the historical single-queue behaviour.
 func New(env *sim.Env, seed uint64, catalog []RegionSpec, opts Options) *Cloud {
 	if len(catalog) == 0 {
 		catalog = DefaultCatalog()
@@ -199,16 +219,27 @@ func New(env *sim.Env, seed uint64, catalog []RegionSpec, opts Options) *Cloud {
 	c := &Cloud{
 		env:      env,
 		root:     rng.New(seed).Split("cloud"),
-		opts:     opts.withDefaults(),
+		opts:     opts.WithDefaults(),
 		regionBy: make(map[string]*Region, len(catalog)),
 		azBy:     make(map[string]*AZ),
 		prices:   defaultPrices(),
-		inflight: make(map[string]int),
 		meter:    NewMeter(),
 	}
-	c.latRand = c.root.Split("latency")
-	for _, rs := range catalog {
-		region := &Region{spec: rs}
+	nShards := 1
+	if g := env.Group(); g != nil {
+		nShards = g.NumShards()
+	}
+	c.latRands = make([]*rng.Stream, nShards)
+	c.latRands[0] = c.root.Split("latency")
+	for i := 1; i < nShards; i++ {
+		c.latRands[i] = c.root.Split(fmt.Sprintf("latency/%d", i))
+	}
+	for i, rs := range catalog {
+		region := &Region{
+			spec:     rs,
+			env:      shardEnvFor(env, i),
+			inflight: make(map[string]int),
+		}
 		for _, azSpec := range rs.AZs {
 			az := newAZ(c, region, azSpec)
 			region.azs = append(region.azs, az)
@@ -221,25 +252,38 @@ func New(env *sim.Env, seed uint64, catalog []RegionSpec, opts Options) *Cloud {
 	return c
 }
 
+// shardEnvFor maps the i'th catalog region onto a shard: round-robin over
+// shards 1..N-1, reserving shard 0 for clients. Single-queue setups (plain
+// env or one-shard group) map everything onto env.
+func shardEnvFor(env *sim.Env, i int) *sim.Env {
+	g := env.Group()
+	if g == nil || g.NumShards() < 2 {
+		return env
+	}
+	return g.Shard(1 + i%(g.NumShards()-1))
+}
+
 // scheduleDrift lays out the bounded drift timeline so Env.Run terminates.
+// Each zone's timeline lives on its own shard.
 func (c *Cloud) scheduleDrift() {
 	for _, region := range c.regions {
 		for _, az := range region.azs {
 			az := az
 			for day := 1; day <= c.opts.HorizonDays; day++ {
-				c.env.Schedule(time.Duration(day)*24*time.Hour, az.driftDaily)
+				az.env.Schedule(time.Duration(day)*24*time.Hour, az.driftDaily)
 			}
 			if az.spec.HourlyDrift > 0 {
 				hours := c.opts.HorizonDays * 24
 				for h := 1; h <= hours; h++ {
-					c.env.Schedule(time.Duration(h)*time.Hour, az.driftHourly)
+					az.env.Schedule(time.Duration(h)*time.Hour, az.driftHourly)
 				}
 			}
 		}
 	}
 }
 
-// Env returns the simulation environment the cloud runs on.
+// Env returns the control environment the cloud was built on (shard 0 of a
+// sharded group; the only environment of a single-queue cloud).
 func (c *Cloud) Env() *sim.Env { return c.env }
 
 // Meter returns the cloud-wide billing meter (charged per account).
@@ -341,12 +385,18 @@ func (r Response) OK() bool { return r.Err == nil }
 type call struct {
 	req  Request
 	done func(Response)
+	// env is the caller's environment: the response is delivered (and
+	// OnResponse observed) there.
+	env *sim.Env
+	// oneWay is the base network one-way latency drawn at send time; any
+	// fault-injected extra RTT is applied on the zone's own shard.
+	oneWay time.Duration
 }
 
 // Invoke performs a blocking invocation from a client or handler process.
 func (c *Cloud) Invoke(p *sim.Proc, req Request) Response {
-	ev := sim.NewEvent(c.env)
-	c.StartInvoke(req, func(r Response) { ev.Trigger(r) })
+	ev := sim.NewEvent(p.Env())
+	c.StartInvokeFrom(p.Env(), req, func(r Response) { ev.Trigger(r) })
 	v := p.Wait(ev)
 	r, ok := v.(Response)
 	if !ok {
@@ -355,84 +405,115 @@ func (c *Cloud) Invoke(p *sim.Proc, req Request) Response {
 	return r
 }
 
-// StartInvoke performs an asynchronous invocation; done runs when the
-// response arrives back at the caller (network latency included both ways).
+// StartInvoke performs an asynchronous invocation from the cloud's control
+// environment; done runs when the response arrives back at the caller
+// (network latency included both ways).
 func (c *Cloud) StartInvoke(req Request, done func(Response)) {
-	sent := c.env.Now()
-	oneWay := c.oneWayLatency(req)
-	c.env.Schedule(oneWay, func() {
-		c.arrive(call{req: req, done: done}, sent, oneWay)
+	c.StartInvokeFrom(c.env, req, done)
+}
+
+// StartInvokeFrom is StartInvoke for a caller living on a specific shard:
+// the request crosses from the caller's env to the zone's shard under the
+// network latency, and the response is delivered back on from.
+func (c *Cloud) StartInvokeFrom(from *sim.Env, req Request, done func(Response)) {
+	sent := from.Now()
+	az, ok := c.azBy[req.AZ]
+	if !ok {
+		// No such zone: bounce at the provider edge after an intra-cloud
+		// round trip, entirely on the caller's shard.
+		oneWay := c.opts.IntraCloudRTT / 2
+		from.Schedule(oneWay, func() {
+			resp := Response{Err: fmt.Errorf("%w: AZ %q", ErrNoSuchDeployment, req.AZ), Sent: sent}
+			if c.opts.OnResponse != nil {
+				c.opts.OnResponse(req, resp)
+			}
+			from.Schedule(oneWay, func() { done(resp) })
+		})
+		return
+	}
+	oneWay := c.baseOneWay(from, req, az)
+	cl := call{req: req, done: done, env: from, oneWay: oneWay}
+	from.SendTo(az.env, oneWay, func() { c.arrive(cl, sent, az) })
+}
+
+// baseOneWay is the fault-free one-way network latency from the caller to
+// the zone. Jitter draws come from the caller shard's own stream.
+func (c *Cloud) baseOneWay(from *sim.Env, req Request, az *AZ) time.Duration {
+	if req.ClientLoc == nil {
+		return c.opts.IntraCloudRTT / 2
+	}
+	latRand := c.latRands[from.Shard()]
+	return c.opts.Latency.RTT(*req.ClientLoc, az.region.spec.Loc, latRand) / 2
+}
+
+// respond ships resp back to the caller's shard. The zone's current
+// fault-injected extra RTT is added to the return leg; OnResponse observes
+// the response at delivery, on the caller's shard, so observation order is
+// the caller's deterministic event order.
+func (c *Cloud) respond(cl call, az *AZ, resp Response) {
+	back := cl.oneWay + az.fault.extraRTT/2
+	az.env.SendTo(cl.env, back, func() {
+		if c.opts.OnResponse != nil {
+			c.opts.OnResponse(cl.req, resp)
+		}
+		cl.done(resp)
 	})
 }
 
-func (c *Cloud) oneWayLatency(req Request) time.Duration {
-	az, ok := c.azBy[req.AZ]
-	if !ok {
-		return c.opts.IntraCloudRTT / 2
-	}
-	extra := az.fault.extraRTT / 2
-	if req.ClientLoc == nil {
-		return c.opts.IntraCloudRTT/2 + extra
-	}
-	return c.opts.Latency.RTT(*req.ClientLoc, az.region.spec.Loc, c.latRand)/2 + extra
-}
-
-func (c *Cloud) respond(cl call, oneWay time.Duration, resp Response) {
-	if c.opts.OnResponse != nil {
-		c.opts.OnResponse(cl.req, resp)
-	}
-	c.env.Schedule(oneWay, func() { cl.done(resp) })
-}
-
-func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
-	req := cl.req
-	az, ok := c.azBy[req.AZ]
-	if !ok {
-		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: AZ %q", ErrNoSuchDeployment, req.AZ), Sent: sent})
+// arrive runs on the zone's shard when the request reaches the region edge.
+// Fault-injected extra RTT delays processing here — on the zone's side —
+// so the fault state is only ever read by its owning shard.
+func (c *Cloud) arrive(cl call, sent time.Time, az *AZ) {
+	if extra := az.fault.extraRTT / 2; extra > 0 {
+		az.env.Schedule(extra, func() { c.process(cl, sent, az) })
 		return
 	}
+	c.process(cl, sent, az)
+}
+
+func (c *Cloud) process(cl call, sent time.Time, az *AZ) {
+	req := cl.req
 	az.m.invocations.Inc()
 	if err := az.rejectChaos(); err != nil {
-		c.respond(cl, oneWay, Response{Err: err, Sent: sent})
+		c.respond(cl, az, Response{Err: err, Sent: sent})
 		return
 	}
 	dep, ok := az.deployments[req.Function]
 	if !ok {
 		az.m.failBadReq.Inc()
-		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: %s/%s", ErrNoSuchDeployment, req.AZ, req.Function), Sent: sent})
+		c.respond(cl, az, Response{Err: fmt.Errorf("%w: %s/%s", ErrNoSuchDeployment, req.AZ, req.Function), Sent: sent})
 		return
 	}
 	behavior := dep.behavior
 	if req.Work != nil {
 		if !dep.dynamic {
 			az.m.failBadReq.Inc()
-			c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: work override on non-dynamic deployment", ErrBadRequest), Sent: sent})
+			c.respond(cl, az, Response{Err: fmt.Errorf("%w: work override on non-dynamic deployment", ErrBadRequest), Sent: sent})
 			return
 		}
 		behavior = req.Work
 	}
 	if behavior == nil {
 		az.m.failBadReq.Inc()
-		c.respond(cl, oneWay, Response{Err: fmt.Errorf("%w: deployment has no behavior", ErrBadRequest), Sent: sent})
+		c.respond(cl, az, Response{Err: fmt.Errorf("%w: deployment has no behavior", ErrBadRequest), Sent: sent})
 		return
 	}
 
-	quotaKey := req.Account + "|" + az.region.spec.Name
-	if c.inflight[quotaKey] >= c.opts.Quota {
+	if az.region.inflight[req.Account] >= c.opts.Quota {
 		az.m.failThrottled.Inc()
-		c.respond(cl, oneWay, Response{Err: ErrThrottled, Sent: sent})
+		c.respond(cl, az, Response{Err: ErrThrottled, Sent: sent})
 		return
 	}
 	fi, cold, err := az.acquireFI(dep)
 	if err != nil {
 		az.m.failSaturated.Inc()
-		c.respond(cl, oneWay, Response{Err: err, Sent: sent})
+		c.respond(cl, az, Response{Err: err, Sent: sent})
 		return
 	}
 	if cold {
 		az.m.coldStarts.Inc()
 	}
-	c.inflight[quotaKey]++
+	az.region.inflight[req.Account]++
 
 	initDelay := time.Duration(c.opts.OverheadMS * float64(time.Millisecond) / 2)
 	if cold {
@@ -456,13 +537,13 @@ func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
 	}
 
 	finish := func(started time.Time, value any, handlerErr error) {
-		ended := c.env.Now()
+		ended := az.env.Now()
 		billedMS := float64(ended.Sub(started)) / float64(time.Millisecond)
 		billedMS += c.opts.OverheadMS
 		price := c.prices[az.region.spec.Provider]
 		cost := price.Cost(dep.memoryMB, billedMS)
-		c.meter.Charge(req.Account, cost)
-		c.inflight[quotaKey]--
+		c.meter.ChargeIn(req.Account, az.region.spec.Name, cost)
+		az.region.inflight[req.Account]--
 		az.releaseFI(fi)
 
 		profile, perr := saaf.Collect(cpu.CPUInfo(fi.host.kind, dep.vcpus()), fi.id, fi.host.id, cold, billedMS)
@@ -475,7 +556,7 @@ func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
 		} else {
 			az.m.billedMS.Observe(billedMS)
 		}
-		c.respond(cl, oneWay, Response{
+		c.respond(cl, az, Response{
 			Err:           respErr,
 			FI:            fi.id,
 			Host:          fi.host.id,
@@ -492,26 +573,26 @@ func (c *Cloud) arrive(cl call, sent time.Time, oneWay time.Duration) {
 		})
 	}
 
-	c.env.Schedule(initDelay, func() {
-		started := c.env.Now()
+	az.env.Schedule(initDelay, func() {
+		started := az.env.Now()
 		switch b := behavior.(type) {
 		case SleepBehavior:
-			c.env.Schedule(b.D, func() { finish(started, nil, nil) })
+			az.env.Schedule(b.D, func() { finish(started, nil, nil) })
 		case WorkBehavior:
 			dur := c.modelRuntime(az, dep, fi.host, b)
-			c.env.Schedule(dur, func() { finish(started, nil, nil) })
+			az.env.Schedule(dur, func() { finish(started, nil, nil) })
 		case ProbeBehavior:
-			if c.runProbe(cl, sent, oneWay, az, dep, fi, quotaKey, cold, cached, started, b) {
+			if c.runProbe(cl, sent, az, dep, fi, cold, cached, started, b) {
 				return // declined: probe path owns response and release
 			}
 			dur := c.modelRuntime(az, dep, fi.host, b.Work)
 			extra := time.Duration(probeDecisionMS * float64(time.Millisecond))
-			c.env.Schedule(dur+extra, func() {
+			az.env.Schedule(dur+extra, func() {
 				finish(started, ProbeOutcome{Ran: true, RuntimeMS: float64(dur) / float64(time.Millisecond)}, nil)
 			})
 		case HandlerBehavior:
 			ctx := &Ctx{cloud: c, az: az, dep: dep, fi: fi, cold: cold}
-			c.env.Go("handler/"+dep.name, func(p *sim.Proc) error {
+			az.env.Go("handler/"+dep.name, func(p *sim.Proc) error {
 				ctx.proc = p
 				value, herr := b.Fn(ctx, req)
 				finish(started, value, herr)
@@ -554,7 +635,7 @@ func (c *Cloud) modelRuntime(az *AZ, dep *Deployment, host *Host, w WorkBehavior
 	ms := spec.BaseMS * w.scale()
 	ms *= spec.CPUFactor(host.kind)
 	ms *= spec.MemoryFactor(dep.memoryMB)
-	ms *= az.contention(c.env.Now())
+	ms *= az.contention(az.env.Now())
 	ms *= az.rand.LogNorm(0, spec.NoiseFrac)
 	ms += w.ExtraMS
 	if ms < 0.1 {
@@ -566,5 +647,9 @@ func (c *Cloud) modelRuntime(az *AZ, dep *Deployment, host *Host, w WorkBehavior
 // Inflight reports an account's current concurrent executions in a region
 // (exposed for tests).
 func (c *Cloud) Inflight(account, region string) int {
-	return c.inflight[account+"|"+region]
+	r, ok := c.regionBy[region]
+	if !ok {
+		return 0
+	}
+	return r.inflight[account]
 }

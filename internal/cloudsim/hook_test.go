@@ -43,11 +43,8 @@ func TestOnResponseHook(t *testing.T) {
 		cloud.StartInvoke(Request{
 			Account: "a", AZ: "test-az-1a", Function: "dyn",
 			Work: ProbeBehavior{
-				Work: WorkBehavior{Workload: workload.Sha1Hash},
-				Banned: map[cpu.Kind]bool{
-					cpu.Xeon25: true, cpu.Xeon29: true,
-					cpu.Xeon30: true, cpu.EPYC: true,
-				},
+				Work:   WorkBehavior{Workload: workload.Sha1Hash},
+				Banned: cpu.MaskOf(cpu.Xeon25, cpu.Xeon29, cpu.Xeon30, cpu.EPYC),
 			},
 		}, func(Response) {})
 	})

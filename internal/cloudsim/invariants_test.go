@@ -98,7 +98,7 @@ func TestInvariantsUnderRandomChurn(t *testing.T) {
 			req.Function = "dyn"
 			req.Work = ProbeBehavior{
 				Work:   WorkBehavior{Workload: workload.Sha1Hash, Scale: 0.2},
-				Banned: map[cpu.Kind]bool{cpu.EPYC: true, cpu.Xeon25: s.Bool(0.5)},
+				Banned: maybeBan(cpu.MaskOf(cpu.EPYC), cpu.Xeon25, s.Bool(0.5)),
 				HoldMS: 50,
 			}
 		default:
@@ -206,7 +206,7 @@ func TestProbeDeclineReleasesQuota(t *testing.T) {
 			Account: "a", AZ: "r-az", Function: "dyn",
 			Work: ProbeBehavior{
 				Work:   WorkBehavior{Workload: workload.Sha1Hash},
-				Banned: map[cpu.Kind]bool{cpu.EPYC: true},
+				Banned: cpu.MaskOf(cpu.EPYC),
 			},
 		}, func(r Response) {
 			if r.OK() {
@@ -250,7 +250,7 @@ func TestProbeKeepOnDecline(t *testing.T) {
 		Account: "a", AZ: "r-az", Function: "dyn",
 		Work: ProbeBehavior{
 			Work:          WorkBehavior{Workload: workload.Sha1Hash},
-			Banned:        map[cpu.Kind]bool{cpu.EPYC: true},
+			Banned:        cpu.MaskOf(cpu.EPYC),
 			KeepOnDecline: true,
 		},
 	}, func(Response) {})
@@ -261,4 +261,13 @@ func TestProbeKeepOnDecline(t *testing.T) {
 		t.Fatalf("live FIs = %d, want 1 kept warm", az.LiveFIs())
 	}
 	env.Shutdown()
+}
+
+// maybeBan adds k to m when cond holds — a branch-free literal for
+// randomized ban sets in the property tests.
+func maybeBan(m cpu.Mask, k cpu.Kind, cond bool) cpu.Mask {
+	if cond {
+		return m.Add(k)
+	}
+	return m
 }

@@ -16,8 +16,10 @@ import (
 type ProbeBehavior struct {
 	// Work runs when the instance's CPU is acceptable.
 	Work WorkBehavior
-	// Banned lists the refused CPU kinds.
-	Banned map[cpu.Kind]bool
+	// Banned is the bitmask of refused CPU kinds. A mask (not a map) keeps
+	// the routing hot path allocation-free: the caller builds it once and
+	// every issued invocation copies one word.
+	Banned cpu.Mask
 	// HoldMS is how long a declining instance is held (default 150 ms).
 	HoldMS float64
 	// KeepOnDecline returns the declining instance to the warm pool. By
@@ -55,24 +57,24 @@ const probeDecisionMS = 2
 // path once the instance is initialized. It returns true when it fully
 // handled the request (decline path), false when the caller should run the
 // workload normally.
-func (c *Cloud) runProbe(cl call, sent time.Time, oneWay time.Duration, az *AZ,
-	dep *Deployment, fi *FI, quotaKey string, cold, cached bool, started time.Time,
+func (c *Cloud) runProbe(cl call, sent time.Time, az *AZ,
+	dep *Deployment, fi *FI, cold, cached bool, started time.Time,
 	b ProbeBehavior) bool {
 	// The in-function check reads cpuinfo, like the routing logic the
 	// paper bakes into its dynamic functions.
 	kind, _, err := cpu.ParseCPUInfo(cpu.CPUInfo(fi.host.kind, dep.vcpus()))
-	if err != nil || !b.Banned[kind] {
+	if err != nil || !b.Banned.Has(kind) {
 		return false
 	}
 	holdMS := b.holdMS()
 	price := c.prices[az.region.spec.Provider]
 	cost := price.Cost(dep.memoryMB, holdMS)
-	c.meter.Charge(cl.req.Account, cost)
+	c.meter.ChargeIn(cl.req.Account, az.region.spec.Name, cost)
 
 	// Respond as soon as the decision is made so the caller can reissue...
-	c.env.Schedule(time.Duration(probeDecisionMS*float64(time.Millisecond)), func() {
+	az.env.Schedule(time.Duration(probeDecisionMS*float64(time.Millisecond)), func() {
 		profile, perr := saaf.Collect(cpu.CPUInfo(fi.host.kind, dep.vcpus()), fi.id, fi.host.id, cold, holdMS)
-		c.respond(cl, oneWay, Response{
+		c.respond(cl, az, Response{
 			Err:           perr,
 			FI:            fi.id,
 			Host:          fi.host.id,
@@ -81,7 +83,7 @@ func (c *Cloud) runProbe(cl call, sent time.Time, oneWay time.Duration, az *AZ,
 			PayloadCached: cached,
 			Sent:          sent,
 			Started:       started,
-			Ended:         c.env.Now(),
+			Ended:         az.env.Now(),
 			BilledMS:      holdMS,
 			CostUSD:       cost,
 			Profile:       profile,
@@ -91,8 +93,8 @@ func (c *Cloud) runProbe(cl call, sent time.Time, oneWay time.Duration, az *AZ,
 	// ...but hold the instance (and the quota slot) for the full,
 	// billed hold so the reissued request lands elsewhere. Afterwards the
 	// instance self-terminates unless KeepOnDecline is set.
-	c.env.Schedule(time.Duration(holdMS*float64(time.Millisecond)), func() {
-		c.inflight[quotaKey]--
+	az.env.Schedule(time.Duration(holdMS*float64(time.Millisecond)), func() {
+		az.region.inflight[cl.req.Account]--
 		if b.KeepOnDecline {
 			az.releaseFI(fi)
 		} else {

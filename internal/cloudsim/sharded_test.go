@@ -1,0 +1,102 @@
+package cloudsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"skyfaas/internal/geo"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/workload"
+)
+
+// shardedWorld builds the default catalog on either engine. shards == 0 uses
+// the plain single-queue Env; otherwise a Sharded group whose lookahead is
+// half the intra-cloud RTT, matching how core wires it.
+func shardedWorld(t *testing.T, shards int) (*sim.Env, *Cloud) {
+	t.Helper()
+	opts := Options{HorizonDays: 1}.WithDefaults()
+	var env *sim.Env
+	if shards > 1 {
+		env = sim.NewSharded(testEpoch, shards, opts.IntraCloudRTT/2).Control()
+	} else {
+		env = sim.NewEnv(testEpoch)
+	}
+	return env, New(env, 42, DefaultCatalog(), opts)
+}
+
+// shardedDigest drives geo-distributed traffic into several regions and
+// folds every response into a replay-stable transcript. Responses are
+// recorded per target zone — each zone's responses arrive back on the
+// control shard in simulated-time order, so the transcript is deterministic.
+func shardedDigest(t *testing.T, shards int) string {
+	t.Helper()
+	env, c := shardedWorld(t, shards)
+	zones := []string{"us-west-1a", "us-east-2a", "eu-north-1a", "sa-east-1a", "ap-northeast-1a"}
+	for _, z := range zones {
+		if _, err := c.Deploy(z, "fn", DeployConfig{
+			MemoryMB: 2048,
+			Behavior: WorkBehavior{Workload: workload.Zipper},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := geo.Coord{Lat: 37, Lon: -122}
+	lines := make(map[string][]string)
+	for round := 0; round < 6; round++ {
+		for i, z := range zones {
+			z, i, round := z, i, round
+			env.Schedule(time.Duration(round*200+i*10)*time.Millisecond, func() {
+				c.StartInvokeFrom(env, Request{
+					Account:   "acct",
+					AZ:        z,
+					Function:  "fn",
+					ClientLoc: &client,
+				}, func(resp Response) {
+					errStr := "ok"
+					if resp.Err != nil {
+						errStr = resp.Err.Error()
+					}
+					lines[z] = append(lines[z], fmt.Sprintf(
+						"%s r%d %s cold=%t fi=%s cpu=%v billed=%.3f cost=%.9f at=%s",
+						z, round, errStr, resp.Cold, resp.FI, resp.CPU,
+						resp.BilledMS, resp.CostUSD, env.Now().Format(time.RFC3339Nano)))
+				})
+			})
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, z := range zones {
+		for _, l := range lines[z] {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "meter=%s inflight=%d\n", c.Meter().String(), c.Inflight("acct", "us-west-1"))
+	return b.String()
+}
+
+// TestShardedCloudMatchesSingleQueue asserts that geo-distributed invocation
+// traffic — cold starts, warm reuse, billing, RTT draws — is byte-identical
+// between the single-queue engine and the sharded engine, and that sharded
+// runs replay exactly. Run under -race (the cloudsim package is in
+// RACE_PKGS) this doubles as the cross-shard synchronization stress test.
+func TestShardedCloudMatchesSingleQueue(t *testing.T) {
+	single := shardedDigest(t, 0)
+	if !strings.Contains(single, "ok") {
+		t.Fatalf("no successful invocations:\n%s", single)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := shardedDigest(t, shards)
+		if got != single {
+			t.Errorf("shards=%d diverged from single-queue\n--- single ---\n%s--- sharded ---\n%s", shards, single, got)
+		}
+		if again := shardedDigest(t, shards); again != got {
+			t.Errorf("shards=%d replay diverged", shards)
+		}
+	}
+}

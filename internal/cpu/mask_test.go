@@ -1,0 +1,57 @@
+package cpu
+
+import "testing"
+
+func TestMaskBasics(t *testing.T) {
+	var m Mask
+	if !m.Empty() || m.Count() != 0 || m.Set() != nil {
+		t.Fatal("zero mask not empty")
+	}
+	m = MaskOf(Xeon30, EPYC)
+	if m.Empty() || m.Count() != 2 {
+		t.Fatalf("count = %d, want 2", m.Count())
+	}
+	if !m.Has(Xeon30) || !m.Has(EPYC) || m.Has(Xeon25) {
+		t.Errorf("membership wrong: %b", m)
+	}
+	// Adding twice is idempotent.
+	if m.Add(EPYC) != m {
+		t.Error("double add changed mask")
+	}
+}
+
+func TestMaskCoversCatalog(t *testing.T) {
+	// Every catalogued kind fits, and the round trip through Set preserves
+	// membership exactly.
+	var m Mask
+	for _, k := range Kinds() {
+		m = m.Add(k)
+	}
+	if m.Count() != len(Kinds()) {
+		t.Fatalf("count = %d, want %d", m.Count(), len(Kinds()))
+	}
+	set := m.Set()
+	if len(set) != len(Kinds()) {
+		t.Fatalf("set size = %d", len(set))
+	}
+	if got := MaskOfSet(set); got != m {
+		t.Errorf("round trip %b != %b", got, m)
+	}
+}
+
+func TestMaskRejectsOutOfRange(t *testing.T) {
+	var m Mask
+	if got := m.Add(Kind(0)); got != 0 {
+		t.Errorf("Add(0) = %b", got)
+	}
+	if got := m.Add(Kind(100)); got != 0 {
+		t.Errorf("Add(100) = %b", got)
+	}
+	if m.Has(Kind(0)) || m.Has(Kind(100)) {
+		t.Error("out-of-range membership")
+	}
+	// MaskOfSet ignores false entries.
+	if got := MaskOfSet(map[Kind]bool{Xeon25: false, EPYC: true}); got != MaskOf(EPYC) {
+		t.Errorf("MaskOfSet kept false entry: %b", got)
+	}
+}

@@ -12,7 +12,7 @@ import (
 // TestDebugHybridLogReg mirrors one EX-5 day for logistic_regression and
 // dumps placement, so the hybrid economics stay observable.
 func TestDebugHybridLogReg(t *testing.T) {
-	rt, err := newRuntime(42, 4, sampleCfgDefault())
+	rt, err := newRuntime(42, 4, sampleCfgDefault(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 // scale on us-west-1b and dump where work landed. Kept as a regular test so
 // the placement economics stay observable; assertions are loose.
 func TestDebugFocusBurst(t *testing.T) {
-	rt, err := newRuntime(42, 4, sampleCfgDefault())
+	rt, err := newRuntime(42, 4, sampleCfgDefault(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,9 @@ const (
 // EX8Config parameterizes EX-8.
 type EX8Config struct {
 	Seed uint64
+	// Shards selects the simulation engine (0/1 single-queue, N > 1
+	// sharded); replay is byte-identical across values.
+	Shards int
 	// Zone is the single zone under load (default us-west-1a).
 	Zone string
 	// Workload under test (default sha1_hash: CPU-bound, ~1s service time,
@@ -181,6 +184,7 @@ func runEX8Cell(cfg EX8Config, arm string, multiple float64) (EX8Cell, error) {
 		SamplerCfg: cfg.Sampler,
 		CloudOpts:  cloudsim.Options{Quota: cfg.Quota, HorizonDays: 2},
 		SkipMesh:   true,
+		Shards:     cfg.Shards,
 	})
 	if err != nil {
 		return EX8Cell{}, err

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEX9Deterministic: the headline claim — every engine width computes the
+// identical simulation. The speedup column is machine-dependent (it measures
+// real wall clock) and is deliberately not asserted here.
+func TestEX9Deterministic(t *testing.T) {
+	res, err := RunEX9(EX9Config{Seed: 5}.Reduced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(res.Cells))
+	}
+	if !res.Deterministic() {
+		t.Errorf("engines diverged: %+v", res.Cells)
+	}
+	if res.Zones == 0 || res.Deployments == 0 {
+		t.Errorf("empty world: %d zones, %d deployments", res.Zones, res.Deployments)
+	}
+	for _, c := range res.Cells {
+		if c.Invocations != res.Cells[0].Invocations {
+			t.Errorf("shards=%d completed %d invocations, single queue completed %d",
+				c.Shards, c.Invocations, res.Cells[0].Invocations)
+		}
+		if c.InvPerSec <= 0 {
+			t.Errorf("shards=%d reported no throughput", c.Shards)
+		}
+	}
+	if _, ok := res.Cell(4); !ok {
+		t.Error("no 4-shard cell in reduced config")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "EX-9") || !strings.Contains(out, "deterministic across engines: yes") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestEX9SeedSensitivity: the checksum must actually depend on the traffic —
+// a different seed routes and schedules differently and must not collide.
+func TestEX9SeedSensitivity(t *testing.T) {
+	a, err := RunMeshLoad(MeshLoadConfig{Seed: 5, Invocations: 2000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMeshLoad(MeshLoadConfig{Seed: 6, Invocations: 2000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum == b.Checksum {
+		t.Errorf("checksum insensitive to seed: %016x", a.Checksum)
+	}
+}
+
+func TestEX9WriteCSV(t *testing.T) {
+	res := EX9Result{
+		Zones: 49, Deployments: 698,
+		Cells: []EX9Cell{{Shards: 1, Invocations: 10, WallSeconds: 0.5, InvPerSec: 20, Speedup: 1, Checksum: 7}},
+	}
+	dir := t.TempDir()
+	if err := res.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := readCSV(t, dir, "ex9_scalability.csv")
+	if !strings.Contains(got, "shards,invocations,wall_s,inv_per_s,speedup,checksum") ||
+		!strings.Contains(got, "0000000000000007") {
+		t.Errorf("csv:\n%s", got)
+	}
+}

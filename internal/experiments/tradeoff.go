@@ -33,7 +33,7 @@ type RetryTradeoffResult struct {
 // RunRetryTradeoff runs a baseline and a focus-fastest burst of 1,000
 // zipper invocations on us-west-1b and reports the §4.6 quantities.
 func RunRetryTradeoff(seed uint64) (RetryTradeoffResult, error) {
-	rt, err := newRuntime(seed, 3, sampler.Config{})
+	rt, err := newRuntime(seed, 3, sampler.Config{}, 0)
 	if err != nil {
 		return RetryTradeoffResult{}, err
 	}

@@ -101,7 +101,7 @@ func (l LatencyBound) PickAZ(dec Decision) string {
 }
 
 // Ban implements Strategy.
-func (l LatencyBound) Ban(dec Decision, az string) map[cpu.Kind]bool {
+func (l LatencyBound) Ban(dec Decision, az string) cpu.Mask {
 	dec.Candidates = l.filter(dec.Candidates)
 	return l.inner().Ban(dec, az)
 }
@@ -180,10 +180,10 @@ func (c CostAware) PickAZ(dec Decision) string {
 // Ban implements Strategy: cost-aware placement keeps the hybrid retry
 // logic inside the chosen zone, degrading to the conservative slowest-two
 // ban when the zone's characterization has gone stale.
-func (c CostAware) Ban(dec Decision, az string) map[cpu.Kind]bool {
+func (c CostAware) Ban(dec Decision, az string) cpu.Mask {
 	info := dec.Lookup(az)
 	if !info.Known {
-		return nil
+		return 0
 	}
 	if !info.Fresh {
 		return banSlowest(dec, info.Dist, 2)

@@ -1,0 +1,77 @@
+package router
+
+import (
+	"testing"
+
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/faas"
+	"skyfaas/internal/workload"
+)
+
+var (
+	benchCall faas.Call
+	benchAZ   string
+	benchBan  cpu.Mask
+)
+
+// BenchmarkRouteHotPath measures the per-invocation route path after the
+// decision is frozen: Pick + Call, exactly what the burst loop executes per
+// slot. The allocs/op column is the contract — 0 for the pinned strategy
+// and 0 for the cheapest-zone strategy — and `make bench-check` holds it
+// there against BENCH_route.json.
+func BenchmarkRouteHotPath(b *testing.B) {
+	_, cloud, r := world(b)
+	seedStore(cloud, r, "slow-az", "fast-az")
+	trainPerf(r)
+	dec := Decision{
+		Workload:   workload.Zipper,
+		Candidates: []string{"slow-az", "fast-az"},
+		Store:      r.Store(),
+		Perf:       r.Perf(),
+		Now:        cloud.Env().Now(),
+	}
+	for _, arm := range []struct {
+		name string
+		s    Strategy
+	}{
+		{"pinned", FocusFastest{AZ: "fast-az"}},
+		{"cheapest", Hybrid{}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			tbl, ok := BuildDecisionTable(arm.s, dec, r.mesh, 2048, 150)
+			if !ok {
+				b.Fatal("no decision table")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchAZ, benchBan = tbl.Pick()
+				benchCall = tbl.Call(true)
+				benchCall = tbl.Call(false)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildDecisionTable measures the slow path the table amortizes —
+// one full strategy decision per burst or failover.
+func BenchmarkBuildDecisionTable(b *testing.B) {
+	_, cloud, r := world(b)
+	seedStore(cloud, r, "slow-az", "fast-az")
+	trainPerf(r)
+	dec := Decision{
+		Workload:   workload.Zipper,
+		Candidates: []string{"slow-az", "fast-az"},
+		Store:      r.Store(),
+		Perf:       r.Perf(),
+		Now:        cloud.Env().Now(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, ok := BuildDecisionTable(Hybrid{}, dec, r.mesh, 2048, 150)
+		if !ok {
+			b.Fatal("no decision table")
+		}
+		benchAZ = tbl.AZ
+	}
+}

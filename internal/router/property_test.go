@@ -82,12 +82,12 @@ func TestOptimalBanSetSafetyProperty(t *testing.T) {
 		banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
 		d := dec.Lookup("z").Dist
 		ranked := dec.Perf.Kinds(workload.Zipper)
-		if len(ranked) > 0 && banned[ranked[0]] {
+		if len(ranked) > 0 && banned.Has(ranked[0]) {
 			return false // fastest banned
 		}
 		var kept float64
 		for _, k := range kinds {
-			if !banned[k] {
+			if !banned.Has(k) {
 				kept += d.Share(k)
 			}
 		}

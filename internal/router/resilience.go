@@ -55,6 +55,8 @@ func (rs *Resilience) withDefaults() *Resilience {
 
 func (rs *Resilience) breakerOn() bool { return rs != nil && !rs.NoBreaker }
 
+func (rs *Resilience) hedgeOn() bool { return rs != nil && rs.Hedge.Enabled() }
+
 // UseSeed derives the router's private randomness (backoff jitter) from
 // seed, tying burst pacing to the experiment's run seed. Without it the
 // router jitters from a fixed default stream — still deterministic, just

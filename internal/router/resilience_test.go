@@ -241,23 +241,23 @@ func TestStaleCharacterizationSurfaced(t *testing.T) {
 	}
 
 	// Fresh: full focus bans everything but the fastest.
-	if b := (FocusFastest{AZ: "z"}).Ban(fresh, "z"); !b[cpu.Xeon25] || !b[cpu.EPYC] {
+	if b := (FocusFastest{AZ: "z"}).Ban(fresh, "z"); !b.Has(cpu.Xeon25) || !b.Has(cpu.EPYC) {
 		t.Errorf("fresh focus bans = %v", b)
 	}
 	// Stale: deliberate fallback to the conservative slowest-N ban — the
 	// old code returned nil here (stale treated as uncharacterized).
 	b := (FocusFastest{AZ: "z"}).Ban(stale, "z")
-	if b == nil {
+	if b.Empty() {
 		t.Fatal("stale focus-fastest lost its ban signal entirely")
 	}
-	if !b[cpu.EPYC] {
+	if !b.Has(cpu.EPYC) {
 		t.Errorf("stale focus bans = %v, want slowest banned", b)
 	}
-	if b[cpu.Xeon30] {
+	if b.Has(cpu.Xeon30) {
 		t.Errorf("stale focus banned the fastest kind: %v", b)
 	}
 	// Hybrid degrades the same way.
-	if b := (Hybrid{}).Ban(stale, "z"); b == nil || !b[cpu.EPYC] || b[cpu.Xeon30] {
+	if b := (Hybrid{}).Ban(stale, "z"); b.Empty() || !b.Has(cpu.EPYC) || b.Has(cpu.Xeon30) {
 		t.Errorf("stale hybrid bans = %v", b)
 	}
 }

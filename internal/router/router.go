@@ -200,15 +200,14 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 		Perf:       r.perf,
 		Now:        env.Now(),
 	}
-	az := spec.Strategy.PickAZ(dec)
-	if az == "" {
-		return BurstResult{}, fmt.Errorf("router: strategy %q picked no zone", spec.Strategy.Name())
-	}
-	ep, ok := r.mesh.Nearest(az, spec.MemoryMB, cpu.X86)
+	tbl, ok := BuildDecisionTable(spec.Strategy, dec, r.mesh, spec.MemoryMB, spec.HoldMS)
 	if !ok {
-		return BurstResult{}, fmt.Errorf("router: no mesh endpoint in %s", az)
+		if az := spec.Strategy.PickAZ(dec); az == "" {
+			return BurstResult{}, fmt.Errorf("router: strategy %q picked no zone", spec.Strategy.Name())
+		}
+		return BurstResult{}, fmt.Errorf("router: no mesh endpoint for strategy %q", spec.Strategy.Name())
 	}
-	banned := spec.Strategy.Ban(dec, az)
+	az := tbl.AZ
 	bm := r.burstMetrics(spec.Strategy.Name())
 	bm.recordDecision(az, spec.Candidates)
 
@@ -232,21 +231,15 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	}
 	outstanding := 0
 
-	// slot is one logical invocation. gen advances every time the slot is
-	// (re)issued or settled, so a response carrying a stale gen — a hedge
-	// loser, or the twin of an attempt that already failed — identifies
-	// itself and is dropped.
-	type slot struct {
-		attempts int // platform-failure attempts consumed
-		gen      int
-	}
-	queue := make([]*slot, 0, spec.N)
-	for i := 0; i < spec.N; i++ {
-		queue = append(queue, &slot{})
-	}
+	// Slots and the retry queue come from the pool (hotpath.go); with
+	// hedging off — the common case — no response can outlive the burst, so
+	// the state is safely recycled on return.
+	st := newBurstState(spec.N)
+	queue := st.queue
 
-	// Route state; failover rewrites these for every slot issued afterward.
-	routeAZ, routeEp, routeBans := az, ep, banned
+	// Route state; failover replaces the frozen decision table, retargeting
+	// every slot issued afterward.
+	routeAZ := az
 
 	// failOver retargets the burst at the best candidate whose breaker
 	// admits traffic. Side-effect-free Admits is used for filtering so
@@ -272,12 +265,11 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 		if next == "" || next == routeAZ {
 			return false
 		}
-		nextEp, ok := r.mesh.Nearest(next, spec.MemoryMB, cpu.X86)
+		nextTbl, ok := buildTableAt(spec.Strategy, d, r.mesh, next, spec.MemoryMB, spec.HoldMS)
 		if !ok {
 			return false
 		}
-		routeAZ, routeEp = next, nextEp
-		routeBans = spec.Strategy.Ban(d, next)
+		routeAZ, tbl = next, nextTbl
 		res.AZ = next // report where the burst ended up, not where it began
 		res.Failovers++
 		bm.failovers.Inc()
@@ -292,7 +284,7 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 		return false
 	}
 
-	var issue func(sl *slot)
+	var issue func(sl *burstSlot)
 	var pump func()
 	pump = func() {
 		for outstanding < maxOutstanding && len(queue) > 0 {
@@ -311,7 +303,7 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 			issue(sl)
 		}
 	}
-	requeue := func(sl *slot, after time.Duration) {
+	requeue := func(sl *burstSlot, after time.Duration) {
 		queue = append(queue, sl)
 		if after > 0 {
 			env.Schedule(after, pump)
@@ -319,23 +311,13 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 			pump()
 		}
 	}
-	issue = func(sl *slot) {
+	issue = func(sl *burstSlot) {
 		sl.gen++
 		gen := sl.gen
-		slotBans := routeBans
-		if env.Now().After(giveUpAt) {
-			slotBans = nil // guarantee completion
-		}
+		// After give-up, bans are lifted to guarantee completion. Both call
+		// variants are prebuilt: issuing allocates nothing.
+		call := tbl.Call(!env.Now().After(giveUpAt))
 		azAt := routeAZ
-		call := faas.Call{
-			AZ:       azAt,
-			Function: routeEp.Function,
-			Work: cloudsim.ProbeBehavior{
-				Work:   cloudsim.WorkBehavior{Workload: spec.Workload},
-				Banned: slotBans,
-				HoldMS: spec.HoldMS,
-			},
-		}
 		send := func(isHedge bool) {
 			r.client.Start(call, func(resp cloudsim.Response) {
 				outstanding--
@@ -416,6 +398,12 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	}
 	pump()
 	p.Wait(done)
+	if !rs.hedgeOn() {
+		// Hedge twins can straggle in after the burst settles; recycling
+		// their slots would let a stale response touch the next burst's
+		// state. Pool only when no hedge was ever armed.
+		st.release()
+	}
 	res.Elapsed = env.Now().Sub(start)
 	bm.recordResult(res, r.perf, res.Elapsed)
 	if r.trafficSink != nil && res.Completed > 0 {

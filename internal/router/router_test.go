@@ -19,7 +19,7 @@ var testEpoch = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
 
 // world builds a two-zone cloud: "slow-az" is a 50/50 mix of the baseline
 // 2.5 GHz and EPYC; "fast-az" is 60% 3.0 GHz / 40% baseline.
-func world(t *testing.T) (*sim.Env, *cloudsim.Cloud, *Router) {
+func world(t testing.TB) (*sim.Env, *cloudsim.Cloud, *Router) {
 	t.Helper()
 	env := sim.NewEnv(testEpoch)
 	catalog := []cloudsim.RegionSpec{{
@@ -124,7 +124,7 @@ func TestStrategiesPickAndBan(t *testing.T) {
 	if az := (Baseline{AZ: "slow-az"}).PickAZ(dec); az != "slow-az" {
 		t.Errorf("baseline picked %s", az)
 	}
-	if banned := (Baseline{AZ: "slow-az"}).Ban(dec, "slow-az"); banned != nil {
+	if banned := (Baseline{AZ: "slow-az"}).Ban(dec, "slow-az"); !banned.Empty() {
 		t.Errorf("baseline bans %v", banned)
 	}
 
@@ -134,19 +134,19 @@ func TestStrategiesPickAndBan(t *testing.T) {
 
 	rs := RetrySlow{AZ: "slow-az"}
 	banned := rs.Ban(dec, "slow-az")
-	if !banned[cpu.EPYC] {
+	if !banned.Has(cpu.EPYC) {
 		t.Errorf("retry-slow bans = %v, want EPYC banned", banned)
 	}
-	if banned[cpu.Xeon25] {
+	if banned.Has(cpu.Xeon25) {
 		t.Error("retry-slow banned the fastest present kind")
 	}
 
 	ff := FocusFastest{AZ: "fast-az"}
 	banned = ff.Ban(dec, "fast-az")
-	if banned[cpu.Xeon30] {
+	if banned.Has(cpu.Xeon30) {
 		t.Error("focus-fastest banned the fastest kind")
 	}
-	if !banned[cpu.Xeon25] {
+	if !banned.Has(cpu.Xeon25) {
 		t.Errorf("focus-fastest bans = %v, want all but fastest", banned)
 	}
 
@@ -155,7 +155,7 @@ func TestStrategiesPickAndBan(t *testing.T) {
 		t.Errorf("hybrid picked %s", az)
 	}
 	banned = hy.Ban(dec, "fast-az")
-	if banned[cpu.Xeon30] || !banned[cpu.Xeon25] {
+	if banned.Has(cpu.Xeon30) || !banned.Has(cpu.Xeon25) {
 		t.Errorf("hybrid bans = %v", banned)
 	}
 }
@@ -174,10 +174,10 @@ func TestFocusFastestRareCPUGuard(t *testing.T) {
 	})
 	dec := Decision{Workload: workload.Zipper, Store: store, Perf: m, Now: testEpoch}
 	banned := FocusFastest{AZ: "z"}.Ban(dec, "z")
-	if banned[cpu.Xeon25] {
+	if banned.Has(cpu.Xeon25) {
 		t.Errorf("rare-CPU guard failed: banned the workhorse kind; bans=%v", banned)
 	}
-	if !banned[cpu.EPYC] || !banned[cpu.Xeon29] {
+	if !banned.Has(cpu.EPYC) || !banned.Has(cpu.Xeon29) {
 		t.Errorf("guard should degrade to retry-slow; bans=%v", banned)
 	}
 }
@@ -195,7 +195,7 @@ func TestStrategyWithoutCharacterizationFallsBack(t *testing.T) {
 	if az := (Regional{}).PickAZ(dec); az != "a" {
 		t.Errorf("uncharacterized regional pick = %s, want first candidate", az)
 	}
-	if banned := (RetrySlow{AZ: "a"}).Ban(dec, "a"); banned != nil {
+	if banned := (RetrySlow{AZ: "a"}).Ban(dec, "a"); !banned.Empty() {
 		t.Errorf("bans without characterization: %v", banned)
 	}
 }

@@ -17,8 +17,9 @@ type Strategy interface {
 	// PickAZ chooses the zone for a burst from the candidates.
 	PickAZ(dec Decision) string
 	// Ban returns the CPU kinds the workload must not run on in the
-	// chosen zone (the retry set).
-	Ban(dec Decision, az string) map[cpu.Kind]bool
+	// chosen zone (the retry set) as an allocation-free bitmask; the zero
+	// Mask bans nothing.
+	Ban(dec Decision, az string) cpu.Mask
 }
 
 // Decision carries everything a strategy may consult.
@@ -74,7 +75,7 @@ func (b Baseline) Name() string { return "baseline" }
 func (b Baseline) PickAZ(Decision) string { return b.AZ }
 
 // Ban implements Strategy.
-func (b Baseline) Ban(Decision, string) map[cpu.Kind]bool { return nil }
+func (b Baseline) Ban(Decision, string) cpu.Mask { return 0 }
 
 // ---------------------------------------------------------------------------
 
@@ -90,7 +91,7 @@ func (Regional) Name() string { return "regional" }
 func (Regional) PickAZ(dec Decision) string { return bestAZ(dec) }
 
 // Ban implements Strategy.
-func (Regional) Ban(Decision, string) map[cpu.Kind]bool { return nil }
+func (Regional) Ban(Decision, string) cpu.Mask { return 0 }
 
 // bestAZ returns the candidate with the lowest expected runtime. Freshly
 // characterized zones are ranked first among themselves; when none is
@@ -152,14 +153,14 @@ func (r RetrySlow) PickAZ(Decision) string { return r.AZ }
 // Ban implements Strategy. Stale characterizations are used as-is: the
 // slow/fast CPU ordering survives drift far better than exact shares, so a
 // conservative slowest-N ban stays worthwhile on old data.
-func (r RetrySlow) Ban(dec Decision, az string) map[cpu.Kind]bool {
+func (r RetrySlow) Ban(dec Decision, az string) cpu.Mask {
 	n := r.SlowCount
 	if n == 0 {
 		n = 2
 	}
 	info := dec.Lookup(az)
 	if !info.Known {
-		return nil
+		return 0
 	}
 	return banSlowest(dec, info.Dist, n)
 }
@@ -169,10 +170,10 @@ func (r RetrySlow) Ban(dec Decision, az string) map[cpu.Kind]bool {
 // fastest that retrying off it cannot repay the decline hold, and never so
 // much of the zone that fewer than ~30% of placements can run — the paper's
 // "only banning very poorly performing CPUs" mitigation.
-func banSlowest(dec Decision, d charact.Dist, n int) map[cpu.Kind]bool {
+func banSlowest(dec Decision, d charact.Dist, n int) cpu.Mask {
 	const minKeptShare = 0.3
 	if len(d) == 0 {
-		return nil
+		return 0
 	}
 	ranked := dec.Perf.Kinds(dec.Workload) // fastest first
 	present := make([]cpu.Kind, 0, len(ranked))
@@ -182,16 +183,16 @@ func banSlowest(dec Decision, d charact.Dist, n int) map[cpu.Kind]bool {
 		}
 	}
 	if len(present) <= 1 {
-		return nil
+		return 0
 	}
 	fastMS, ok := dec.Perf.Mean(dec.Workload, present[0])
 	if !ok {
-		return nil
+		return 0
 	}
 	if n > len(present)-1 {
 		n = len(present) - 1
 	}
-	banned := make(map[cpu.Kind]bool, n)
+	var banned cpu.Mask
 	bannedShare := 0.0
 	for i := len(present) - 1; i >= len(present)-n; i-- {
 		k := present[i]
@@ -201,11 +202,8 @@ func banSlowest(dec Decision, d charact.Dist, n int) map[cpu.Kind]bool {
 		if bannedShare+d.Share(k) > 1-minKeptShare {
 			break // would leave too little of the zone to run on
 		}
-		banned[k] = true
+		banned = banned.Add(k)
 		bannedShare += d.Share(k)
-	}
-	if len(banned) == 0 {
-		return nil
 	}
 	return banned
 }
@@ -239,10 +237,10 @@ func (f FocusFastest) PickAZ(Decision) string { return f.AZ }
 // degrades deliberately to banning the slowest two kinds: full focus bets
 // on the exact share of one CPU, which drift invalidates first, while the
 // slow/fast ordering it falls back on decays much more slowly.
-func (f FocusFastest) Ban(dec Decision, az string) map[cpu.Kind]bool {
+func (f FocusFastest) Ban(dec Decision, az string) cpu.Mask {
 	info := dec.Lookup(az)
 	if !info.Known {
-		return nil
+		return 0
 	}
 	if !info.Fresh {
 		return banSlowest(dec, info.Dist, 2)
@@ -267,9 +265,9 @@ func minGain(v float64) float64 {
 	return v
 }
 
-func banAllButFastest(dec Decision, d charact.Dist, minShare, minGainMS float64) map[cpu.Kind]bool {
+func banAllButFastest(dec Decision, d charact.Dist, minShare, minGainMS float64) cpu.Mask {
 	if len(d) == 0 {
-		return nil
+		return 0
 	}
 	ranked := dec.Perf.Kinds(dec.Workload)
 	var fastest cpu.Kind
@@ -280,16 +278,16 @@ func banAllButFastest(dec Decision, d charact.Dist, minShare, minGainMS float64)
 		}
 	}
 	if fastest == 0 {
-		return nil
+		return 0
 	}
 	if d.Share(fastest) < minShare {
 		return banSlowest(dec, d, 2)
 	}
 	fastMS, ok := dec.Perf.Mean(dec.Workload, fastest)
 	if !ok {
-		return nil
+		return 0
 	}
-	banned := make(map[cpu.Kind]bool)
+	var banned cpu.Mask
 	for _, k := range ranked {
 		if k == fastest || d.Share(k) <= 0 {
 			continue
@@ -299,7 +297,7 @@ func banAllButFastest(dec Decision, d charact.Dist, minShare, minGainMS float64)
 			// it saves.
 			continue
 		}
-		banned[k] = true
+		banned = banned.Add(k)
 	}
 	return banned
 }
@@ -328,14 +326,14 @@ func (Hybrid) PickAZ(dec Decision) string { return bestAZ(dec) }
 // Ban implements Strategy. The cost optimization leans on exact shares, so
 // on a stale characterization Hybrid degrades deliberately to the
 // conservative slowest-two ban rather than optimizing against drifted data.
-func (h Hybrid) Ban(dec Decision, az string) map[cpu.Kind]bool {
+func (h Hybrid) Ban(dec Decision, az string) cpu.Mask {
 	hold := h.HoldMS
 	if hold == 0 {
 		hold = 150
 	}
 	info := dec.Lookup(az)
 	if !info.Known {
-		return nil
+		return 0
 	}
 	if !info.Fresh {
 		return banSlowest(dec, info.Dist, 2)
@@ -346,9 +344,9 @@ func (h Hybrid) Ban(dec Decision, az string) map[cpu.Kind]bool {
 // optimalBanSet picks the ban cutoff minimizing expected per-completion
 // cost: runtime over the kept kinds plus (bannedShare/keptShare)*hold of
 // decline overhead.
-func optimalBanSet(dec Decision, d charact.Dist, holdMS float64) map[cpu.Kind]bool {
+func optimalBanSet(dec Decision, d charact.Dist, holdMS float64) cpu.Mask {
 	if len(d) == 0 {
-		return nil
+		return 0
 	}
 	ranked := dec.Perf.Kinds(dec.Workload) // fastest first
 	type entry struct {
@@ -369,7 +367,7 @@ func optimalBanSet(dec Decision, d charact.Dist, holdMS float64) map[cpu.Kind]bo
 		present = append(present, entry{kind: k, share: share, mean: mean})
 	}
 	if len(present) <= 1 {
-		return nil
+		return 0
 	}
 	bestJ := 0
 	bestCost := 0.0
@@ -390,11 +388,11 @@ func optimalBanSet(dec Decision, d charact.Dist, holdMS float64) map[cpu.Kind]bo
 		}
 	}
 	if bestJ == 0 {
-		return nil
+		return 0
 	}
-	banned := make(map[cpu.Kind]bool, bestJ)
+	var banned cpu.Mask
 	for _, e := range present[len(present)-bestJ:] {
-		banned[e.kind] = true
+		banned = banned.Add(e.kind)
 	}
 	return banned
 }

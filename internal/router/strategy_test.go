@@ -34,7 +34,7 @@ func TestOptimalBanSetBansWhenProfitable(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 4000, cpu.EPYC: 5500},
 	)
 	banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
-	if !banned[cpu.EPYC] || banned[cpu.Xeon25] {
+	if !banned.Has(cpu.EPYC) || banned.Has(cpu.Xeon25) {
 		t.Fatalf("bans = %v", banned)
 	}
 }
@@ -46,7 +46,7 @@ func TestOptimalBanSetSkipsUnprofitableBans(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 0.95, cpu.Xeon30: 0.05},
 		map[cpu.Kind]float64{cpu.Xeon25: 4000, cpu.Xeon30: 3950},
 	)
-	if banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150); banned != nil {
+	if banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150); !banned.Empty() {
 		t.Fatalf("bans = %v, want none", banned)
 	}
 }
@@ -59,10 +59,10 @@ func TestOptimalBanSetPicksInteriorCutoff(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon30: 3800, cpu.Xeon25: 4000, cpu.EPYC: 6000},
 	)
 	banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
-	if !banned[cpu.EPYC] {
+	if !banned.Has(cpu.EPYC) {
 		t.Errorf("EPYC not banned: %v", banned)
 	}
-	if banned[cpu.Xeon25] {
+	if banned.Has(cpu.Xeon25) {
 		t.Errorf("2.5GHz banned despite thin 3.0GHz supply: %v", banned)
 	}
 }
@@ -74,7 +74,7 @@ func TestOptimalBanSetFocusesWhenFastIsPlentiful(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon30: 3400, cpu.Xeon25: 4200, cpu.EPYC: 6000},
 	)
 	banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150)
-	if !banned[cpu.Xeon25] || !banned[cpu.EPYC] || banned[cpu.Xeon30] {
+	if !banned.Has(cpu.Xeon25) || !banned.Has(cpu.EPYC) || banned.Has(cpu.Xeon30) {
 		t.Fatalf("bans = %v, want all but 3.0GHz", banned)
 	}
 }
@@ -85,12 +85,12 @@ func TestOptimalBanSetDegenerateInputs(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 1},
 		map[cpu.Kind]float64{cpu.Xeon25: 4000},
 	)
-	if banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150); banned != nil {
+	if banned := optimalBanSet(dec, dec.Lookup("z").Dist, 150); !banned.Empty() {
 		t.Fatalf("bans = %v", banned)
 	}
 	// No characterization.
 	empty := Decision{Workload: workload.Zipper, Store: charact.NewStore(0), Perf: NewPerfModel()}
-	if banned := optimalBanSet(empty, empty.Lookup("ghost").Dist, 150); banned != nil {
+	if banned := optimalBanSet(empty, empty.Lookup("ghost").Dist, 150); !banned.Empty() {
 		t.Fatalf("bans without characterization = %v", banned)
 	}
 	// Characterized kinds with no perf observations are ignored.
@@ -98,7 +98,7 @@ func TestOptimalBanSetDegenerateInputs(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon25: 0.5, cpu.EPYC: 0.5},
 		map[cpu.Kind]float64{cpu.Xeon25: 4000}, // EPYC never profiled
 	)
-	if banned := optimalBanSet(dec2, dec2.Lookup("z").Dist, 150); banned != nil {
+	if banned := optimalBanSet(dec2, dec2.Lookup("z").Dist, 150); !banned.Empty() {
 		t.Fatalf("bans with unprofiled kind = %v", banned)
 	}
 }
@@ -109,12 +109,12 @@ func TestHybridUsesOptimalBans(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon30: 3400, cpu.Xeon25: 4200},
 	)
 	banned := Hybrid{}.Ban(dec, "z")
-	if !banned[cpu.Xeon25] || banned[cpu.Xeon30] {
+	if !banned.Has(cpu.Xeon25) || banned.Has(cpu.Xeon30) {
 		t.Fatalf("hybrid bans = %v", banned)
 	}
 	// A custom hold changes the economics: with an enormous hold no ban
 	// can pay for itself.
-	if banned := (Hybrid{HoldMS: 1e6}).Ban(dec, "z"); banned != nil {
+	if banned := (Hybrid{HoldMS: 1e6}).Ban(dec, "z"); !banned.Empty() {
 		t.Fatalf("hybrid with huge hold bans %v", banned)
 	}
 }
@@ -127,10 +127,10 @@ func TestFocusFastestMinShareDefault(t *testing.T) {
 		map[cpu.Kind]float64{cpu.Xeon30: 3400, cpu.Xeon25: 4200, cpu.EPYC: 6000},
 	)
 	banned := FocusFastest{AZ: "z"}.Ban(dec, "z")
-	if banned[cpu.Xeon25] {
+	if banned.Has(cpu.Xeon25) {
 		t.Fatalf("guard failed, banned the workhorse: %v", banned)
 	}
-	if !banned[cpu.EPYC] {
+	if !banned.Has(cpu.EPYC) {
 		t.Fatalf("slowest kind not banned: %v", banned)
 	}
 }

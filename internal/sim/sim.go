@@ -20,7 +20,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -42,24 +41,61 @@ type item struct {
 	fn  func()
 }
 
-type eventHeap []*item
+// eventHeap is a binary min-heap of items by (at, seq), stored by value
+// with hand-rolled sift functions. The container/heap interface would box
+// every pushed item into an interface and allocate it on the heap; at tens
+// of millions of events per run (EX-9, BenchmarkShardedMesh) that
+// allocation — and the GC scan load of a pointer-dense queue — dominates
+// the engine, so the queue stays flat.
+type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+func (h *eventHeap) push(it item) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	q := *h
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item. Callers must check Len first.
+func (h *eventHeap) pop() item {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = item{} // release the fn closure to the GC
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		small := left
+		if right := left + 1; right < n && q.less(right, left) {
+			small = right
+		}
+		if !q.less(small, i) {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
@@ -80,6 +116,14 @@ type Env struct {
 	// that would otherwise pace out for hours. It never reorders events,
 	// so determinism of the event sequence is unaffected.
 	fastForward atomic.Bool
+
+	// group/shard identify this Env as a member of a Sharded group (see
+	// shard.go); both are zero for a standalone single-queue environment.
+	// postSeq numbers this shard's cross-shard sends so the merge barrier
+	// can order same-instant arrivals deterministically.
+	group   *Sharded
+	shard   int
+	postSeq uint64
 }
 
 // NewEnv returns an environment whose virtual clock starts at epoch.
@@ -103,7 +147,7 @@ func (e *Env) Schedule(d time.Duration, fn func()) {
 		d = 0
 	}
 	e.seq++
-	heap.Push(&e.queue, &item{at: e.now + d, seq: e.seq, fn: fn})
+	e.queue.push(item{at: e.now + d, seq: e.seq, fn: fn})
 }
 
 // Fail aborts the run: Run returns err after the current event completes.
@@ -116,26 +160,50 @@ func (e *Env) Fail(err error) {
 
 // Run executes events until the queue is empty or a failure is recorded.
 // Processes still blocked when the queue drains are aborted so their
-// goroutines exit; their Err reports ErrAborted.
-func (e *Env) Run() error { return e.run(-1, 0) }
+// goroutines exit; their Err reports ErrAborted. On a sharded member the
+// call runs the whole group (see Sharded.Run).
+func (e *Env) Run() error {
+	if e.group != nil {
+		return e.group.Run()
+	}
+	return e.run(-1, 0)
+}
 
 // RunFor executes events for at most d of virtual time. Events scheduled
 // beyond the horizon stay queued; the clock advances exactly to the horizon.
 // Blocked processes are left intact so a subsequent RunFor can resume them.
-func (e *Env) RunFor(d time.Duration) error { return e.run(e.now+d, 0) }
+// On a sharded member the call runs the whole group (see Sharded.RunFor).
+func (e *Env) RunFor(d time.Duration) error {
+	if e.group != nil {
+		return e.group.run(e.now + d)
+	}
+	return e.run(e.now+d, 0)
+}
 
 // FinishFast makes a paced run (RunPaced) stop sleeping between events from
 // the next event on, so the remaining queue drains at full speed. Safe to
 // call from any goroutine, before or during the run; it is how a live
-// server shuts down promptly without abandoning queued work.
-func (e *Env) FinishFast() { e.fastForward.Store(true) }
+// server shuts down promptly without abandoning queued work. On a sharded
+// member the flag fans out to every shard.
+func (e *Env) FinishFast() {
+	if e.group != nil {
+		e.group.FinishFast()
+		return
+	}
+	e.fastForward.Store(true)
+}
 
 // RunPaced is Run with real-time pacing for demos: between consecutive
 // events the scheduler sleeps the virtual gap divided by speedup (e.g.
-// speedup=1000 plays one virtual second per wall millisecond).
+// speedup=1000 plays one virtual second per wall millisecond). Sharded
+// groups never pace against the wall clock, so RunPaced rejects grouped
+// members.
 func (e *Env) RunPaced(speedup float64) error {
 	if speedup <= 0 {
 		return fmt.Errorf("sim: non-positive speedup %v", speedup)
+	}
+	if e.group != nil {
+		return errors.New("sim: RunPaced is not supported on a sharded environment")
 	}
 	return e.run(-1, speedup)
 }
@@ -153,7 +221,7 @@ func (e *Env) run(until time.Duration, speedup float64) error {
 			e.now = until
 			return nil
 		}
-		heap.Pop(&e.queue)
+		e.queue.pop()
 		if gap := next.at - e.now; gap > 0 && speedup > 0 {
 			// RunPaced exists to map virtual gaps onto the wall clock for
 			// live demos; determinism of the event order is unaffected.
