@@ -5,7 +5,7 @@ GO ?= go
 # Concurrency-sensitive packages that must stay race-clean. `make ci` and
 # .github/workflows/ci.yml run exactly the same targets; the
 # internal/ciparity test asserts the two lists cannot drift.
-RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/
+RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/ ./internal/core/ ./internal/experiments/
 
 # Benchmark selection for `make bench` (regexp, per `go test -bench`).
 # Example: make bench BENCH_PATTERN='RouteHotPath|ShardedMesh'
@@ -13,10 +13,10 @@ BENCH_PATTERN ?= .
 
 # The benchmark-regression gate's subjects and baselines (see cmd/benchcheck
 # and the README "Performance" section).
-BENCH_GATE_PATTERN = BenchmarkRouteHotPath$$|BenchmarkShardedMesh$$
+BENCH_GATE_PATTERN = BenchmarkRouteHotPath$$|BenchmarkShardedMesh$$|BenchmarkSkylintModule$$
 BENCH_BASELINES = -baseline BENCH_route.json -baseline BENCH_mesh.json
 
-.PHONY: all build vet fmt-check lint test race ci smoke-ex6 smoke-ex7 smoke-ex8 bench bench-check bench-baseline reproduce serve clean
+.PHONY: all build vet fmt-check lint lint-fixtures test race ci smoke-ex6 smoke-ex7 smoke-ex8 bench bench-check bench-baseline reproduce serve clean
 
 all: build vet lint test
 
@@ -45,9 +45,18 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (determinism & concurrency invariants);
-# see internal/lint and the README "Static analysis" section.
+# see internal/lint and the README "Static analysis" section. Findings are
+# mirrored into lint_findings.json for CI archival, and under GitHub
+# Actions skylint emits ::error workflow commands so findings land as
+# inline PR annotations.
 lint:
-	$(GO) run ./cmd/skylint ./...
+	$(GO) run ./cmd/skylint -json lint_findings.json ./...
+
+# Just the analyzer golden tests (fixture module, //want markers) — the
+# fast inner loop when developing a lint rule. -short skips the repo-wide
+# type-check that the full `go test ./internal/lint/` also performs.
+lint-fixtures:
+	$(GO) test -short ./internal/lint/ ./cmd/skylint/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -89,4 +98,4 @@ serve:
 # reproduction artifacts (refreshed in place by `make reproduce`), so it
 # must survive a clean.
 clean:
-	rm -f skybench_full.txt test_output.txt bench_output.txt bench_check_output.txt
+	rm -f skybench_full.txt test_output.txt bench_output.txt bench_check_output.txt lint_findings.json

@@ -15,6 +15,7 @@ import (
 
 	"skyfaas/internal/cpu"
 	"skyfaas/internal/experiments"
+	"skyfaas/internal/lint"
 	"skyfaas/internal/workload"
 )
 
@@ -331,5 +332,29 @@ func BenchmarkShardedMesh(b *testing.B) {
 			b.ReportMetric(float64(inv)/wall.Seconds(), "inv/s")
 			b.ReportMetric(float64(invocations), "inv/iter")
 		})
+	}
+}
+
+// BenchmarkSkylintModule measures the static-analysis pass itself: a full
+// module load (parse + type-check) followed by every registered rule,
+// exactly what `make lint` pays on each run. The wall-time baseline lives
+// in BENCH_route.json so analyzer cost rides the same perf trajectory as
+// the code it guards; the findings metric is pinned at 0 — the gate
+// doubles as a repo-is-lint-clean check. Deliberately last in this file:
+// one pass allocates hundreds of MB of transient type-check state, and
+// running it before the mesh benchmark in the same process skews that
+// benchmark's GC behavior past the gate's tolerance.
+func BenchmarkSkylintModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mod, err := lint.Load(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings := lint.Run(mod, lint.Analyzers())
+		if len(findings) > 0 {
+			b.Logf("first finding: %s", findings[0])
+		}
+		b.ReportMetric(float64(len(findings)), "findings")
+		b.ReportMetric(float64(len(lint.Analyzers())), "rules")
 	}
 }

@@ -4,15 +4,22 @@
 //
 // Usage:
 //
-//	skylint [-rules rule1,rule2] [-list] [./... ./internal/...]
+//	skylint [-rules rule1,rule2] [-json findings.json] [-list] [./... ./internal/...]
 //
 // Patterns restrict which findings are reported (the whole module is always
 // loaded, since analyses need cross-package type information). With no
 // pattern, everything is reported. Individual call sites are exempted with
 // a "//lint:allow <rule> -- reason" comment; see internal/lint.
+//
+// -json additionally writes the findings as a JSON array to the named file
+// (written even when empty, so CI can always archive it). Under GitHub
+// Actions (GITHUB_ACTIONS=true) each finding is also emitted as a
+// "::error file=...,line=..." workflow command, which GitHub renders as an
+// inline annotation on the offending line of the PR diff.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("skylint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := fs.String("json", "", "also write findings as a JSON array to this file")
 	list := fs.Bool("list", false, "list available rules and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,20 +76,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := lint.Run(mod, analyzers)
-	n := 0
-	for _, f := range findings {
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+	matched := make([]lint.Finding, 0)
+	for _, f := range lint.Run(mod, analyzers) {
 		if !matchAny(f.File, fs.Args()) {
 			continue
 		}
+		matched = append(matched, f)
 		fmt.Fprintln(stdout, f)
-		n++
+		if annotate {
+			fmt.Fprintln(stdout, githubAnnotation(f))
+		}
 	}
-	if n > 0 {
-		fmt.Fprintf(stderr, "skylint: %d finding(s)\n", n)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, matched); err != nil {
+			fmt.Fprintf(stderr, "skylint: %v\n", err)
+			return 2
+		}
+	}
+	if len(matched) > 0 {
+		fmt.Fprintf(stderr, "skylint: %d finding(s)\n", len(matched))
 		return 1
 	}
 	return 0
+}
+
+// githubAnnotation renders a finding as a GitHub Actions workflow command;
+// the runner scans stdout for these and pins them to the PR diff.
+func githubAnnotation(f lint.Finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,title=skylint %s::%s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// writeJSON dumps the findings to path as a JSON array — always an array,
+// even when empty, so CI consumers can parse it unconditionally.
+func writeJSON(path string, findings []lint.Finding) error {
+	type finding struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Rule string `json:"rule"`
+		Msg  string `json:"msg"`
+	}
+	out := make([]finding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, finding{File: f.File, Line: f.Line, Rule: f.Rule, Msg: f.Msg})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // selectRules filters analyzers down to a comma-separated name list.

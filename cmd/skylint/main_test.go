@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"skyfaas/internal/lint"
 )
 
 func TestMatchPattern(t *testing.T) {
@@ -67,6 +70,46 @@ func TestRunUnknownRule(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown rule") {
 		t.Errorf("stderr missing diagnosis: %s", errOut.String())
+	}
+}
+
+func TestGithubAnnotation(t *testing.T) {
+	f := lint.Finding{File: "internal/sim/sim.go", Line: 42, Rule: "hotalloc", Msg: "append may grow"}
+	want := "::error file=internal/sim/sim.go,line=42,title=skylint hotalloc::append may grow"
+	if got := githubAnnotation(f); got != want {
+		t.Errorf("githubAnnotation = %q, want %q", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	if err := writeJSON(path, []lint.Finding{
+		{File: "a.go", Line: 1, Rule: "nodeterm", Msg: "m"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, raw)
+	}
+	if len(got) != 1 || got[0]["file"] != "a.go" || got[0]["rule"] != "nodeterm" {
+		t.Errorf("round trip = %v", got)
+	}
+
+	// No findings must still produce a parseable empty array, not "null".
+	if err := writeJSON(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(raw)) != "[]" {
+		t.Errorf("empty findings wrote %q, want []", raw)
 	}
 }
 

@@ -205,18 +205,27 @@ func (c *Controller) limit() int {
 func (c *Controller) fn(w workload.ID) *fnState {
 	st, ok := c.fns[w]
 	if !ok {
-		st = &fnState{observed: metrics.NewHistogram(metrics.ExpBuckets(1, 1.5, 31))}
-		if spec, ok := workload.Get(w); ok {
-			st.serviceMS = spec.BaseMS
-		} else {
-			st.serviceMS = 1000
-		}
-		if reg := c.cfg.Metrics; reg != nil {
-			lbl := metrics.L("fn", w.String())
-			st.mAdmitted = reg.Counter("sky_admission_admitted_total", "Requests admitted past the gate.", lbl)
-			st.mShed = reg.Counter("sky_admission_shed_total", "Requests shed with 429 at the gate.", lbl)
-		}
+		st = c.newFnState(w) //lint:allow hotalloc -- first sighting of a function: one-time state construction
 		c.fns[w] = st
+	}
+	return st
+}
+
+// newFnState builds the per-function bookkeeping the first time a
+// workload shows up. Deliberately off the admission hot path: histograms
+// and labeled counters allocate freely here, once per function, never per
+// request. Callers hold mu.
+func (c *Controller) newFnState(w workload.ID) *fnState {
+	st := &fnState{observed: metrics.NewHistogram(metrics.ExpBuckets(1, 1.5, 31))}
+	if spec, ok := workload.Get(w); ok {
+		st.serviceMS = spec.BaseMS
+	} else {
+		st.serviceMS = 1000
+	}
+	if reg := c.cfg.Metrics; reg != nil {
+		lbl := metrics.L("fn", w.String())
+		st.mAdmitted = reg.Counter("sky_admission_admitted_total", "Requests admitted past the gate.", lbl)
+		st.mShed = reg.Counter("sky_admission_shed_total", "Requests shed with 429 at the gate.", lbl)
 	}
 	return st
 }
@@ -252,7 +261,11 @@ func (c *Controller) Enabled() bool {
 // Admit asks the gate for weight concurrent slots for w at time now — one
 // slot per invocation, so a burst of N holds N. On success the returned
 // ticket must be released with Done. On overload it returns a *ShedError
-// (wrapping ErrShed) and no slots are consumed.
+// (wrapping ErrShed) and no slots are consumed. The admitted path runs
+// once per request under skyd's handler and stays allocation-free
+// (hotalloc-enforced); only the shed path constructs an error.
+//
+//lint:hotpath
 func (c *Controller) Admit(now time.Time, w workload.ID, weight int) (Ticket, error) {
 	if weight < 1 {
 		weight = 1
@@ -262,15 +275,7 @@ func (c *Controller) Admit(now time.Time, w workload.ID, weight int) (Ticket, er
 	st := c.fn(w)
 	lim := c.limit()
 	if c.enabled && c.inflight+weight > lim {
-		st.shed++
-		st.mShed.Inc()
-		return Ticket{}, &ShedError{
-			Workload:    w,
-			RetryAfter:  c.retryAfterLocked(st),
-			Inflight:    c.inflight,
-			Limit:       lim,
-			Utilization: float64(c.inflight) / float64(c.cfg.Slots),
-		}
+		return Ticket{}, c.shedLocked(w, st, lim) //lint:allow hotalloc -- shed path: building the 429 is off the admitted fast path
 	}
 	c.inflight += weight
 	st.inflight += weight
@@ -279,6 +284,20 @@ func (c *Controller) Admit(now time.Time, w workload.ID, weight int) (Ticket, er
 	c.nextID++
 	c.publishLocked()
 	return Ticket{id: c.nextID, fn: w, weight: weight, at: now}, nil
+}
+
+// shedLocked records the rejection and builds the typed 429 detail.
+// Callers hold mu.
+func (c *Controller) shedLocked(w workload.ID, st *fnState, lim int) *ShedError {
+	st.shed++
+	st.mShed.Inc()
+	return &ShedError{
+		Workload:    w,
+		RetryAfter:  c.retryAfterLocked(st),
+		Inflight:    c.inflight,
+		Limit:       lim,
+		Utilization: float64(c.inflight) / float64(c.cfg.Slots),
+	}
 }
 
 // retryAfterLocked estimates when a slot frees: the mean service time of the
@@ -301,7 +320,10 @@ func (c *Controller) retryAfterLocked(st *fnState) time.Duration {
 }
 
 // Done releases a ticket's slot and, when the request succeeded, feeds the
-// observed service time (milliseconds) into the capacity estimate.
+// observed service time (milliseconds) into the capacity estimate. Runs
+// once per completed request; allocation-free like Admit.
+//
+//lint:hotpath
 func (c *Controller) Done(t Ticket, now time.Time, observedMS float64, ok bool) {
 	if t.id == 0 {
 		return

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the second half of the module-level analysis layer: a
+// module-wide call graph keyed by *types.Func. Per-package AST walks
+// cannot see that router.Burst reaches fmt.Sprintf four frames down in
+// another package; the call graph can, and the module-level analyzers
+// (hotalloc, lockorder) traverse it. Only statically resolvable callees
+// are recorded — direct function calls and method calls whose callee
+// identifier resolves to a *types.Func. Interface dispatch and calls
+// through function values are invisible here by construction; the rules
+// that rely on the graph treat those as analysis boundaries and flag the
+// boxing/closure at the call site instead (see hotalloc.go).
+
+// FuncNode is one declared function or method of the module.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls lists statically resolved call sites in source order,
+	// including those inside function literals (attributed to the
+	// enclosing declaration).
+	Calls []CallSite
+}
+
+// CallSite is one resolved call expression inside a FuncNode.
+type CallSite struct {
+	Call *ast.CallExpr
+	// Callee may belong to any package, including the standard library;
+	// it has a FuncNode only when declared in this module.
+	Callee *types.Func
+}
+
+// CallGraph indexes every function declaration of the module.
+type CallGraph struct {
+	// Funcs maps a declared function to its node.
+	Funcs map[*types.Func]*FuncNode
+	// Ordered lists the nodes sorted by source position, for deterministic
+	// traversal (map iteration over Funcs must never decide output order).
+	Ordered []*FuncNode
+}
+
+// Node returns the module-internal node for fn, if fn is declared here.
+func (g *CallGraph) Node(fn *types.Func) (*FuncNode, bool) {
+	n, ok := g.Funcs[fn]
+	return n, ok
+}
+
+// CallGraph builds (once, memoized) the module-wide call graph.
+func (m *Module) CallGraph() *CallGraph {
+	if m.callgraph != nil {
+		return m.callgraph
+	}
+	g := &CallGraph{Funcs: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := staticCallee(pkg.Info, call); callee != nil {
+						node.Calls = append(node.Calls, CallSite{Call: call, Callee: callee})
+					}
+					return true
+				})
+				g.Funcs[obj] = node
+				g.Ordered = append(g.Ordered, node)
+			}
+		}
+	}
+	sort.Slice(g.Ordered, func(i, j int) bool {
+		return g.Ordered[i].Decl.Pos() < g.Ordered[j].Decl.Pos()
+	})
+	m.callgraph = g
+	return g
+}
+
+// FuncCFG builds (memoized) the CFG for one declared function.
+func (m *Module) FuncCFG(fd *ast.FuncDecl) *CFG {
+	if m.cfgs == nil {
+		m.cfgs = make(map[*ast.FuncDecl]*CFG)
+	}
+	if c, ok := m.cfgs[fd]; ok {
+		return c
+	}
+	c := BuildCFG(fd.Body)
+	m.cfgs[fd] = c
+	return c
+}
+
+// staticCallee resolves the target of a call expression to a *types.Func,
+// or nil when the callee is dynamic (function value, interface method
+// through a non-selector path) or a type conversion / builtin.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// FuncDisplayName renders fn as "pkg.Name" or "(pkg.Recv).Name" for
+// findings, using the last import-path element as the package qualifier.
+func FuncDisplayName(fn *types.Func) string {
+	pkg := ""
+	if p := fn.Pkg(); p != nil {
+		pkg = shortPkg(p.Path())
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return "(" + pkg + "." + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if pkg == "" {
+		return fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// shortPkg returns the last element of an import path.
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the first half of skylint's second analysis layer: a
+// control-flow graph over function bodies. The per-statement analyzers
+// (nodeterm, floatdet, ...) inspect the AST in lexical order, which cannot
+// answer questions like "is this slice sorted before it reaches the event
+// queue?" or "which mutexes are held at this call site?". The CFG answers
+// them: a function body becomes basic blocks of straight-line statements
+// connected by successor edges, and analyses run classic forward-dataflow
+// worklists over the blocks (see maporder.go and lockorder.go).
+//
+// The builder decomposes structured statements — if/for/range/switch/
+// select, break/continue/return, defer — into blocks. Block.Nodes holds
+// only the atomic statements and expressions evaluated in that block;
+// nested control flow lives in its own blocks, so an analysis can
+// ast.Inspect a block's nodes without crossing a branch. goto and labeled
+// branches conservatively terminate the current path: they are absent from
+// this codebase, and "no successors" can only suppress dataflow findings
+// downstream of them, never invent one on code that cannot run.
+
+// Block is one basic block of a CFG: statements that execute straight
+// through, then a transfer to one of Succs.
+type Block struct {
+	Index int
+	// Nodes are the atomic statements/expressions evaluated in this block,
+	// in execution order. Control statements are decomposed: an if's
+	// condition lands here, its branches in successor blocks.
+	Nodes []ast.Node
+	// Range is set on a range loop's head block (the loop re-enters here);
+	// Nodes then holds the ranged expression.
+	Range *ast.RangeStmt
+	// Comm is set on a select case's entry block: the clause's
+	// communication statement (nil for default clauses).
+	Comm ast.Stmt
+	// NCases is set on the block evaluating a select statement: the number
+	// of communication clauses (default excluded). A value >= 2 means the
+	// runtime chooses among simultaneously ready cases pseudorandomly.
+	NCases int
+	Succs  []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block // all blocks, in creation (roughly source) order
+	// Defers lists deferred calls in source order; they run at every
+	// function exit in LIFO order.
+	Defers []*ast.CallExpr
+}
+
+// BuildCFG decomposes a function body into basic blocks. The body is not
+// mutated; blocks reference the original AST nodes.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmt(body)
+	return b.cfg
+}
+
+type loopFrame struct {
+	head  *Block // continue target
+	after *Block // break target
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	cur   *Block // nil while the current path is terminated (return/branch)
+	loops []loopFrame
+	// switches tracks break targets for switch/select statements.
+	switches []*Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// startFrom creates a new block with an edge from each non-nil pred.
+func (b *cfgBuilder) startFrom(preds ...*Block) *Block {
+	blk := b.newBlock()
+	for _, p := range preds {
+		if p != nil {
+			p.Succs = append(p.Succs, blk)
+		}
+	}
+	return blk
+}
+
+// add appends an atomic node to the current block (no-op on a dead path).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur == nil && s != nil {
+		// Dead code after return/break: give it its own unreachable block so
+		// its nodes still exist for lexical passes, without predecessors.
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.stmt(inner)
+		}
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		b.cur = b.startFrom(cond)
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		elseEnd := cond
+		if s.Else != nil {
+			b.cur = b.startFrom(cond)
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		if thenEnd == nil && elseEnd == nil {
+			b.cur = nil
+			return
+		}
+		b.cur = b.startFrom(thenEnd, elseEnd)
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.startFrom(b.cur)
+		head.Nodes = append(head.Nodes, nilFree(s.Cond)...)
+		after := b.newBlock()
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, after)
+		}
+		b.loops = append(b.loops, loopFrame{head: head, after: after})
+		b.cur = b.startFrom(head)
+		b.stmt(s.Body)
+		b.add(s.Post)
+		if b.cur != nil {
+			b.cur.Succs = append(b.cur.Succs, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.startFrom(b.cur)
+		head.Range = s
+		head.Nodes = append(head.Nodes, s.X)
+		after := b.startFrom(head)
+		b.loops = append(b.loops, loopFrame{head: head, after: after})
+		b.cur = b.startFrom(head)
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.cur.Succs = append(b.cur.Succs, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.caseClauses(s.Body, false)
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.caseClauses(s.Body, false)
+	case *ast.SelectStmt:
+		b.caseClauses(s.Body, true)
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.add(s)
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+	default:
+		// Atomic statements: assignments, expressions, declarations, sends,
+		// inc/dec, go, empty.
+		b.add(s)
+	}
+}
+
+// caseClauses builds blocks for switch/type-switch (*ast.CaseClause) or
+// select (*ast.CommClause) bodies hanging off the current block.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, isSelect bool) {
+	tag := b.cur
+	after := b.newBlock()
+	b.switches = append(b.switches, after)
+	hasDefault := false
+	var ends []*Block
+	var prevBody *Block // fallthrough source (switch only)
+	comms := 0
+	for _, raw := range body.List {
+		blk := b.startFrom(tag)
+		switch cl := raw.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			if prevBody != nil {
+				prevBody.Succs = append(prevBody.Succs, blk)
+				prevBody = nil
+			}
+			b.cur = blk
+			fall := false
+			for _, inner := range cl.Body {
+				if br, ok := inner.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					fall = true
+					continue
+				}
+				b.stmt(inner)
+			}
+			if fall {
+				prevBody = b.cur
+			} else {
+				ends = append(ends, b.cur)
+			}
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				comms++
+				blk.Comm = cl.Comm
+				blk.Nodes = append(blk.Nodes, cl.Comm)
+			}
+			b.cur = blk
+			for _, inner := range cl.Body {
+				b.stmt(inner)
+			}
+			ends = append(ends, b.cur)
+		}
+	}
+	if isSelect && tag != nil {
+		tag.NCases = comms
+	}
+	if prevBody != nil { // trailing fallthrough (illegal Go, but stay safe)
+		ends = append(ends, prevBody)
+	}
+	if !hasDefault && tag != nil {
+		// No default: execution may skip every case (switch) or block until
+		// one is ready (select); either way `after` is reachable from the tag.
+		tag.Succs = append(tag.Succs, after)
+	}
+	for _, e := range ends {
+		if e != nil {
+			e.Succs = append(e.Succs, after)
+		}
+	}
+	b.switches = b.switches[:len(b.switches)-1]
+	b.cur = after
+}
+
+// branch wires break/continue; goto and labeled branches terminate the
+// path conservatively.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	if s.Label != nil {
+		b.cur = nil
+		return
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.breakTarget(); t != nil && b.cur != nil {
+			b.cur.Succs = append(b.cur.Succs, t)
+		}
+	case token.CONTINUE:
+		if len(b.loops) > 0 && b.cur != nil {
+			b.cur.Succs = append(b.cur.Succs, b.loops[len(b.loops)-1].head)
+		}
+	}
+	b.cur = nil
+}
+
+// breakTarget is the innermost enclosing breakable construct. The builder
+// pushes loop frames and switch afters as it descends; break binds to
+// whichever was entered last, which the separate stacks cannot tell apart —
+// so loops record their depth and the comparison below picks the deeper.
+func (b *cfgBuilder) breakTarget() *Block {
+	// Switch/select frames are pushed inside loop bodies and vice versa; the
+	// most recently created after-block has the highest index, and block
+	// indices increase monotonically with nesting depth at the point of push.
+	var best *Block
+	if len(b.loops) > 0 {
+		best = b.loops[len(b.loops)-1].after
+	}
+	if len(b.switches) > 0 {
+		sw := b.switches[len(b.switches)-1]
+		if best == nil || sw.Index > best.Index {
+			best = sw
+		}
+	}
+	return best
+}
+
+// nilFree wraps a possibly-nil expression as a node slice.
+func nilFree(e ast.Expr) []ast.Node {
+	if e == nil {
+		return nil
+	}
+	return []ast.Node{e}
+}

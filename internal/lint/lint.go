@@ -40,14 +40,19 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
 }
 
-// Analyzer checks one invariant across one package at a time.
+// Analyzer checks one invariant. Per-package analyzers set Run, which is
+// invoked once per package; module-level analyzers (those needing the call
+// graph or cross-package state) set RunModule, which is invoked exactly
+// once with Pass.Pkg == nil. Exactly one of the two must be set.
 type Analyzer struct {
-	Name string // rule name used in findings and //lint:allow comments
-	Doc  string // one-line description of the invariant protected
-	Run  func(*Pass)
+	Name      string // rule name used in findings and //lint:allow comments
+	Doc       string // one-line description of the invariant protected
+	Run       func(*Pass)
+	RunModule func(*Pass)
 }
 
-// Pass hands one analyzer one package, plus a sink for findings.
+// Pass hands one analyzer one package (nil for RunModule), plus a sink for
+// findings.
 type Pass struct {
 	Mod      *Module
 	Pkg      *Package
@@ -75,6 +80,9 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		ctxgoAnalyzer,
 		floatdetAnalyzer,
+		hotallocAnalyzer,
+		lockorderAnalyzer,
+		maporderAnalyzer,
 		mutexheldAnalyzer,
 		nilmetricsAnalyzer,
 		nodetermAnalyzer,
@@ -82,18 +90,33 @@ func Analyzers() []*Analyzer {
 	}
 }
 
+// BadAllowRule is the pseudo-rule under which malformed //lint:allow
+// comments are reported. It is a framework check, not a registered
+// analyzer: a typo'd rule name silently suppresses nothing, which is worse
+// than a loud finding, so Run always emits these regardless of which
+// analyzers were selected.
+const BadAllowRule = "badallow"
+
 // Run applies analyzers to every package of mod and returns the surviving
 // findings — deduplicated, with //lint:allow suppressions applied — sorted
 // by file, line, and rule.
 func Run(mod *Module, analyzers []*Analyzer) []Finding {
 	var raw []rawFinding
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&Pass{Mod: mod, analyzer: a, findings: &raw})
+		}
+	}
 	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Mod: mod, Pkg: pkg, analyzer: a, findings: &raw})
+			if a.Run != nil {
+				a.Run(&Pass{Mod: mod, Pkg: pkg, analyzer: a, findings: &raw})
+			}
 		}
 	}
 
-	allows := collectAllows(mod)
+	allows := mod.Allows()
+	raw = append(raw, mod.allowErrs...)
 	seen := make(map[Finding]bool)
 	var out []Finding
 	for _, r := range raw {
@@ -153,12 +176,24 @@ func (s allowSet) add(file string, line int, rule string) {
 	rules[rule] = true
 }
 
-// collectAllows scans every comment for //lint:allow directives. A
+// Allows returns (memoized) the module's //lint:allow suppression set. A
 // directive suppresses the named rules on its own line (trailing comment)
 // and on the line directly below it (standalone comment above a statement).
-func collectAllows(mod *Module) allowSet {
+// Malformed directives — an unknown rule name, or no rule at all — are
+// recorded as BadAllowRule findings that Run reports: a typo'd allow
+// comment must fail lint, not silently suppress nothing.
+func (m *Module) Allows() allowSet {
+	if m.allows != nil {
+		return m.allows
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	known[BadAllowRule] = true
+
 	set := make(allowSet)
-	for _, pkg := range mod.Pkgs {
+	for _, pkg := range m.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -166,13 +201,27 @@ func collectAllows(mod *Module) allowSet {
 					if !ok {
 						continue
 					}
+					pos := m.Fset.Position(c.Pos())
 					fields := strings.Fields(rest)
-					if len(fields) == 0 {
+					// "//lint:allow -- reason" forgot the rule list.
+					if len(fields) == 0 || fields[0] == "--" {
+						m.allowErrs = append(m.allowErrs, rawFinding{
+							pos:  pos,
+							rule: BadAllowRule,
+							msg:  "//lint:allow names no rule; write //lint:allow <rule>[,<rule>] -- reason",
+						})
 						continue
 					}
-					pos := mod.Fset.Position(c.Pos())
 					for _, rule := range strings.Split(fields[0], ",") {
 						if rule == "" {
+							continue
+						}
+						if !known[rule] {
+							m.allowErrs = append(m.allowErrs, rawFinding{
+								pos:  pos,
+								rule: BadAllowRule,
+								msg:  fmt.Sprintf("//lint:allow names unknown rule %q, so it suppresses nothing (run skylint -list for rule names)", rule),
+							})
 							continue
 						}
 						set.add(pos.Filename, pos.Line, rule)
@@ -182,6 +231,7 @@ func collectAllows(mod *Module) allowSet {
 			}
 		}
 	}
+	m.allows = set
 	return set
 }
 

@@ -19,6 +19,12 @@ type Module struct {
 	Path string // module path from go.mod
 	Fset *token.FileSet
 	Pkgs []*Package // every non-test package, sorted by import path
+
+	// Lazily built, shared analysis state (see callgraph.go and lint.go).
+	callgraph *CallGraph
+	cfgs      map[*ast.FuncDecl]*CFG
+	allows    allowSet
+	allowErrs []rawFinding
 }
 
 // Package is one type-checked package of a Module.

@@ -1,0 +1,37 @@
+// allowmix exercises //lint:allow edge cases: one comment naming several
+// rules, allows naming the wrong or a misspelled rule, and an allow that
+// forgot the rule entirely.
+package cloudsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Mixed accumulates from the global RNG across map order; the one
+// multi-rule allow suppresses both findings.
+func Mixed(samples map[string]float64) float64 {
+	total := 0.0
+	for k := range samples {
+		_ = k
+		total += rand.Float64() //lint:allow floatdet,nodeterm -- fixture: multi-rule allow
+	}
+	return total
+}
+
+// Typo misspells the rule name: the allow suppresses nothing and is
+// itself a badallow finding.
+func Typo() time.Time {
+	return time.Now() //lint:allow nodetermm -- fixture: typo //want badallow,nodeterm
+}
+
+// Bare forgot the rule name entirely.
+func Bare() time.Time {
+	return time.Now() //lint:allow -- fixture: forgot the rule //want badallow,nodeterm
+}
+
+// Wrong names a real rule that does not fire on this line: unused allows
+// are not errors, but they do not suppress the rule that does fire.
+func Wrong() time.Time {
+	return time.Now() //lint:allow floatdet -- fixture: wrong rule for this line //want nodeterm
+}

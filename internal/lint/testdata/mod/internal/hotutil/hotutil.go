@@ -1,0 +1,13 @@
+// Package hotutil is a skylint fixture helper reached from the router
+// fixture's //lint:hotpath roots: the hotalloc finding below must carry a
+// call chain that crosses this package boundary.
+package hotutil
+
+var buf []int
+
+// Pad grows a package-level buffer. It is not annotated itself; it is
+// hot only because (router.table).Pick reaches it.
+func Pad(i int) int {
+	buf = append(buf, i) //want hotalloc
+	return len(buf)
+}

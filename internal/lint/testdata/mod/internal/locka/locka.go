@@ -1,0 +1,38 @@
+// Package locka is a skylint fixture: the A side of a cross-package
+// lock-order cycle (closed by lockb and lockc), plus an in-package
+// field-mutex cycle on pair.
+package locka
+
+import "sync"
+
+// Mu is the A-side mutex of the cross-package cycle.
+var Mu sync.Mutex
+
+// PokeA acquires and releases Mu; a caller holding another lock creates
+// an order edge into it.
+func PokeA() {
+	Mu.Lock()
+	Mu.Unlock()
+}
+
+// pair carries two mutexes that the methods below lock in both orders.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB nests b under a.
+func (p *pair) AB() {
+	p.a.Lock()
+	p.b.Lock() //want lockorder
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// BA nests a under b: together with AB this can deadlock.
+func (p *pair) BA() {
+	p.b.Lock()
+	p.a.Lock() //want lockorder
+	p.a.Unlock()
+	p.b.Unlock()
+}

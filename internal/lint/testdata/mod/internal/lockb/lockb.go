@@ -1,0 +1,26 @@
+// Package lockb is a skylint fixture: the B side of a cross-package
+// lock-order cycle with locka.
+package lockb
+
+import (
+	"sync"
+
+	"example.com/skylintfix/internal/locka"
+)
+
+// Mu is the B-side mutex.
+var Mu sync.Mutex
+
+// Poke acquires and releases Mu.
+func Poke() {
+	Mu.Lock()
+	Mu.Unlock()
+}
+
+// BThenA locks B, then calls into locka, which locks A: the B→A half of
+// the cycle, visible only through the transitive acquire summary.
+func BThenA() {
+	Mu.Lock()
+	locka.PokeA() //want lockorder
+	Mu.Unlock()
+}

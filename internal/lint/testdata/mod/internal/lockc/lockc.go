@@ -1,0 +1,16 @@
+// Package lockc is a skylint fixture: it closes the cross-package cycle
+// by taking locka.Mu before lockb's mutex.
+package lockc
+
+import (
+	"example.com/skylintfix/internal/locka"
+	"example.com/skylintfix/internal/lockb"
+)
+
+// AThenB locks A, then calls into lockb, which locks B: the A→B edge
+// that makes lockb's B→A edge a cycle.
+func AThenB() {
+	locka.Mu.Lock()
+	lockb.Poke() //want lockorder
+	locka.Mu.Unlock()
+}

@@ -1,0 +1,56 @@
+// Package router is a skylint fixture: the hotalloc rule proves that
+// //lint:hotpath functions and everything they transitively call stay
+// allocation-free, reporting the call chain from the annotated root.
+package router
+
+import (
+	"fmt"
+
+	"example.com/skylintfix/internal/hotutil"
+)
+
+type table struct {
+	n     int
+	names []string
+}
+
+// Pick is an annotated hot root: every allocation in it, and in anything
+// it calls, is a finding.
+//
+//lint:hotpath
+func (t *table) Pick(i int) int {
+	m := map[string]int{"a": 1}      //want hotalloc
+	t.names = append(t.names, "x")   //want hotalloc
+	msg := fmt.Sprintf("pick %d", i) //want hotalloc
+	cb := func() { t.n++ }           //want hotalloc
+	cb()
+	_ = m
+	_ = msg
+	return t.grow(i)
+}
+
+// grow is not annotated but is reachable from Pick, so its allocations
+// are reported with the Pick → grow chain.
+func (t *table) grow(i int) int {
+	label := "n" + t.names[0] //want hotalloc
+	box(label)                //want hotalloc
+	return hotutil.Pad(i)
+}
+
+// box takes an interface: concrete arguments passed to it from a hot
+// path are flagged as boxing at the call site, but box itself is clean.
+func box(v any) { _ = v }
+
+// Warm is a hot root whose cold setup is exempted at the call site: the
+// allow both suppresses the line and stops traversal into prime.
+//
+//lint:hotpath
+func (t *table) Warm() {
+	t.prime() //lint:allow hotalloc -- fixture: one-time warm-up off the steady state
+	t.n++
+}
+
+// prime allocates freely; it is only reachable through the allowed site.
+func (t *table) prime() {
+	t.names = make([]string, 0, 8)
+}

@@ -1,0 +1,14 @@
+package sim
+
+// Schedule, Trigger, and Send mimic the real kernel's scheduling surface
+// for the maporder fixture: feeding them map-ordered or select-ordered
+// data breaks replay determinism.
+
+// Schedule registers a callback after a delay.
+func Schedule(after int, fn func()) { _ = after; _ = fn }
+
+// Trigger fires a named event immediately.
+func Trigger(name string) { _ = name }
+
+// Send enqueues a batch of values in order.
+func Send(vals []string) { _ = vals }

@@ -81,7 +81,10 @@ func buildTableAt(s Strategy, dec Decision, m *mesh.Mesh, az string, memoryMB in
 
 // Call returns the prebuilt call, with or without the ban set. The result
 // is a value copy sharing the boxed behavior — callers must not mutate
-// Work. Zero allocations.
+// Work. Zero allocations, enforced statically by skylint's hotalloc rule
+// and dynamically by TestRouteHotPathAllocs.
+//
+//lint:hotpath
 func (t *DecisionTable) Call(enforceBans bool) faas.Call {
 	if enforceBans {
 		return t.banned
@@ -90,6 +93,8 @@ func (t *DecisionTable) Call(enforceBans bool) faas.Call {
 }
 
 // Pick returns the frozen decision. Zero allocations.
+//
+//lint:hotpath
 func (t *DecisionTable) Pick() (az string, banned cpu.Mask) {
 	return t.AZ, t.Banned
 }
@@ -104,6 +109,13 @@ func (t *DecisionTable) Pick() (az string, banned cpu.Mask) {
 type burstState struct {
 	slots []burstSlot
 	queue []*burstSlot
+	// pending counts outstanding references across all slots: in-flight
+	// response callbacks and armed hedge timers that will still read slot
+	// state when they run. finished marks that Burst has returned. The
+	// state goes back to the pool only when both agree nobody can touch
+	// it — whichever of finish / the last settle happens second pools it.
+	pending  int
+	finished bool
 }
 
 // burstSlot is one logical invocation. gen advances every time the slot is
@@ -113,6 +125,10 @@ type burstState struct {
 type burstSlot struct {
 	attempts int // platform-failure attempts consumed
 	gen      int
+	// refs is this slot's share of burstState.pending: response callbacks
+	// and hedge timers that have not fired yet. Only the sim goroutine
+	// touches it.
+	refs int
 }
 
 var burstPool = sync.Pool{New: func() any { return new(burstState) }}
@@ -130,12 +146,43 @@ func newBurstState(n int) *burstState {
 		st.slots[i] = burstSlot{}
 		st.queue = append(st.queue, &st.slots[i])
 	}
+	st.pending = 0
+	st.finished = false
 	return st
 }
 
-// release returns the state to the pool. The caller must guarantee no
-// in-flight response can still reach a slot (Burst returns only after every
-// slot settled, which settles all generations).
+// retain records a reference to sl: a response callback or an armed hedge
+// timer that will read the slot when it fires.
+func (st *burstState) retain(sl *burstSlot) {
+	sl.refs++
+	st.pending++
+}
+
+// settle drops one reference to sl. The last settle after finish pools
+// the state.
+func (st *burstState) settle(sl *burstSlot) {
+	sl.refs--
+	st.pending--
+	if st.finished && st.pending == 0 {
+		st.release()
+	}
+}
+
+// finish marks the burst returned. With no references in flight the state
+// pools immediately; otherwise the final straggler's settle pools it.
+// This is what makes pooling safe with hedging on: a losing twin that
+// completes after the burst settles still holds its reference, so its
+// slot cannot have been recycled under it.
+func (st *burstState) finish() {
+	st.finished = true
+	if st.pending == 0 {
+		st.release()
+	}
+}
+
+// release returns the state to the pool. Callers outside the
+// retain/settle/finish protocol must guarantee no in-flight response can
+// still reach a slot.
 func (st *burstState) release() {
 	burstPool.Put(st)
 }

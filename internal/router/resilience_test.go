@@ -188,6 +188,49 @@ func TestBurstHedging(t *testing.T) {
 	}
 }
 
+// TestHedgedBurstPoolsSafely: back-to-back hedged bursts share the
+// sync.Pool of burst states. Burst one's losing twins are still in flight
+// when burst two starts; the per-slot refcount keeps the first state out
+// of the pool until the last straggler settles, so the second burst can
+// never be handed a state a stale response still points into. RACE_PKGS
+// runs this under -race, which would catch a recycled slot being written
+// by both bursts.
+func TestHedgedBurstPoolsSafely(t *testing.T) {
+	env, cloud, r := world(t)
+	seedStore(cloud, r, "slow-az", "fast-az")
+	spec := BurstSpec{
+		Strategy: Baseline{AZ: "slow-az"},
+		Workload: workload.Sha1Hash,
+		N:        60,
+		Resilience: &Resilience{
+			NoBreaker: true,
+			Hedge:     faas.HedgePolicy{After: 500 * time.Millisecond},
+		},
+	}
+	var first, second BurstResult
+	env.Go("hedge-pool", func(p *sim.Proc) error {
+		az, _ := cloud.AZ("slow-az")
+		az.SetColdStartSpike(20) // hedges fire; losers straggle past settle
+		var err error
+		if first, err = r.Burst(p, spec); err != nil {
+			return err
+		}
+		second, err = r.Burst(p, spec)
+		return err
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range []BurstResult{first, second} {
+		if res.Completed != 60 {
+			t.Errorf("burst %d completed %d, want 60 (abandoned %d)", i+1, res.Completed, res.Abandoned)
+		}
+		if res.Hedges == 0 {
+			t.Errorf("burst %d fired no hedges despite 20x cold starts", i+1)
+		}
+	}
+}
+
 // TestLegacyBurstUnchanged: a nil Resilience must reproduce the original
 // burst semantics — unlimited retries, nothing abandoned.
 func TestLegacyBurstUnchanged(t *testing.T) {

@@ -231,9 +231,11 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	}
 	outstanding := 0
 
-	// Slots and the retry queue come from the pool (hotpath.go); with
-	// hedging off — the common case — no response can outlive the burst, so
-	// the state is safely recycled on return.
+	// Slots and the retry queue come from the pool (hotpath.go). Every
+	// in-flight response and armed hedge timer holds a reference on the
+	// state; it is recycled once the burst has returned AND the last
+	// reference settled, so hedge losers straggling in later never touch a
+	// reused slot.
 	st := newBurstState(spec.N)
 	queue := st.queue
 
@@ -319,7 +321,12 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 		call := tbl.Call(!env.Now().After(giveUpAt))
 		azAt := routeAZ
 		send := func(isHedge bool) {
+			st.retain(sl)
 			r.client.Start(call, func(resp cloudsim.Response) {
+				// Settle last: the gen checks below must read the slot
+				// before this reference is dropped (and the state possibly
+				// pooled).
+				defer st.settle(sl)
 				outstanding--
 				res.Attempts++
 				res.CostUSD += resp.CostUSD
@@ -382,7 +389,9 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 				if left == 0 {
 					return
 				}
+				st.retain(sl) // the timer reads sl.gen when it fires
 				env.Schedule(rs.Hedge.After, func() {
+					defer st.settle(sl)
 					if gen != sl.gen || outstanding >= maxOutstanding {
 						return // settled already, or no quota headroom
 					}
@@ -398,12 +407,7 @@ func (r *Router) Burst(p *sim.Proc, spec BurstSpec) (BurstResult, error) {
 	}
 	pump()
 	p.Wait(done)
-	if !rs.hedgeOn() {
-		// Hedge twins can straggle in after the burst settles; recycling
-		// their slots would let a stale response touch the next burst's
-		// state. Pool only when no hedge was ever armed.
-		st.release()
-	}
+	st.finish()
 	res.Elapsed = env.Now().Sub(start)
 	bm.recordResult(res, r.perf, res.Elapsed)
 	if r.trafficSink != nil && res.Completed > 0 {

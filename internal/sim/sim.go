@@ -57,7 +57,7 @@ func (h eventHeap) less(i, j int) bool {
 }
 
 func (h *eventHeap) push(it item) {
-	*h = append(*h, it)
+	*h = append(*h, it) //lint:allow hotalloc -- amortized queue growth; steady state reuses capacity
 	i := len(*h) - 1
 	q := *h
 	for i > 0 {
@@ -142,6 +142,10 @@ func (e *Env) Elapsed() time.Duration { return e.now }
 
 // Schedule runs fn at virtual time Now()+d. A negative d schedules at the
 // current instant (after events already queued for this instant).
+// Scheduling is the kernel's innermost operation — tens of millions of
+// calls per run — so it must stay allocation-free (hotalloc-enforced).
+//
+//lint:hotpath
 func (e *Env) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
@@ -208,12 +212,17 @@ func (e *Env) RunPaced(speedup float64) error {
 	return e.run(-1, speedup)
 }
 
+// run is the event loop proper: pop, advance the clock, fire. Per-event
+// work must not allocate (hotalloc-enforced) — the queue itself is a flat
+// value heap for the same reason.
+//
+//lint:hotpath
 func (e *Env) run(until time.Duration, speedup float64) error {
 	if e.running {
 		return errors.New("sim: Run re-entered")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	defer func() { e.running = false }() //lint:allow hotalloc -- one closure per run, not per event
 
 	for e.failure == nil && len(e.queue) > 0 {
 		next := e.queue[0]
