@@ -5,7 +5,7 @@ GO ?= go
 # Concurrency-sensitive packages that must stay race-clean. `make ci` and
 # .github/workflows/ci.yml run exactly the same targets; the
 # internal/ciparity test asserts the two lists cannot drift.
-RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/ ./internal/core/ ./internal/experiments/
+RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/ ./internal/core/ ./internal/experiments/ ./internal/tenant/
 
 # Benchmark selection for `make bench` (regexp, per `go test -bench`).
 # Example: make bench BENCH_PATTERN='RouteHotPath|ShardedMesh'
@@ -16,11 +16,11 @@ BENCH_PATTERN ?= .
 BENCH_GATE_PATTERN = BenchmarkRouteHotPath$$|BenchmarkShardedMesh$$|BenchmarkSkylintModule$$
 BENCH_BASELINES = -baseline BENCH_route.json -baseline BENCH_mesh.json
 
-.PHONY: all build vet fmt-check lint lint-fixtures test race ci smoke-ex6 smoke-ex7 smoke-ex8 bench bench-check bench-baseline reproduce serve clean
+.PHONY: all build vet fmt-check lint lint-fixtures test race ci smoke-ex6 smoke-ex7 smoke-ex8 smoke-ex10 bench bench-check bench-baseline reproduce serve clean
 
 all: build vet lint test
 
-ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7 smoke-ex8 bench-check
+ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7 smoke-ex8 smoke-ex10 bench-check
 
 # One reduced EX-6 pass: proves the chaos layer, resilient routing, and the
 # strategy registry compose end to end outside the test harness.
@@ -37,6 +37,12 @@ smoke-ex7:
 # harness.
 smoke-ex8:
 	$(GO) run ./cmd/skybench -ex ex8 -scale reduced
+
+# One reduced EX-10 pass: proves the tenant quota governors, the global
+# admission gate, and the fairness comparison compose end to end outside the
+# test harness.
+smoke-ex10:
+	$(GO) run ./cmd/skybench -ex ex10 -scale reduced
 
 build:
 	$(GO) build ./...

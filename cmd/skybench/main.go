@@ -175,6 +175,14 @@ func registry() []experiment {
 			res, err := experiments.RunEX9(cfg)
 			return renderCSV(o, res, err)
 		}},
+		{"ex10", func(o benchOpts) (string, error) {
+			cfg := experiments.EX10Config{Seed: o.seed}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX10(cfg)
+			return renderCSV(o, res, err)
+		}},
 	}
 }
 

@@ -10,6 +10,13 @@
 //	curl localhost:8080/healthz      # liveness: is the sim goroutine pumping?
 //	curl localhost:8080/metrics      # Prometheus text exposition
 //	curl localhost:8080/metrics.json # same snapshot as JSON
+//
+// With -tenants, every /v1 endpoint requires an API key and tenant quotas
+// and budgets govern /v1/burst:
+//
+//	skyd -addr :8080 -tenants fixture &
+//	curl -H 'Authorization: Bearer sk-ops-0001' localhost:8080/v1/tenants
+//	curl -H 'Authorization: Bearer sk-acme-7f3a' localhost:8080/v1/tenants/acme/usage
 package main
 
 import (
@@ -26,9 +33,39 @@ import (
 
 	"skyfaas/internal/admission"
 	"skyfaas/internal/core"
+	"skyfaas/internal/metrics"
 	"skyfaas/internal/refresh"
 	"skyfaas/internal/skyd"
+	"skyfaas/internal/tenant"
 )
+
+// loadTenants builds the registry from the -tenants flag value: the literal
+// "fixture" loads the built-in deterministic accounts, anything else is a
+// path to a JSON array of tenants (see tenant.Load for the schema).
+func loadTenants(src string, m *metrics.Registry) (*tenant.Registry, error) {
+	var accounts []tenant.Tenant
+	if src == "fixture" {
+		accounts = tenant.Fixture()
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, fmt.Errorf("tenants: %w", err)
+		}
+		accounts, err = tenant.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("tenants: %s: %w", src, err)
+		}
+	}
+	reg := tenant.NewRegistry(tenant.Config{Metrics: m})
+	now := time.Now()
+	for _, t := range accounts {
+		if err := reg.Create(t, now); err != nil {
+			return nil, fmt.Errorf("tenants: %w", err)
+		}
+	}
+	return reg, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -50,6 +87,7 @@ func run(args []string) error {
 	admit := fs.Bool("admission", false, "enable the overload-control gate (sheds with 429 past estimated capacity)")
 	admitSlots := fs.Int("admission-slots", 0, "admission slot count (0 = platform quota minus headroom)")
 	admitUtil := fs.Float64("admission-target-util", 0, "admitted-concurrency ceiling as a fraction of slots (0 = default 0.9)")
+	tenants := fs.String("tenants", "", `tenant accounts: "fixture" for the built-in trio, or a path to a JSON tenant file (empty = auth off)`)
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +112,14 @@ func run(args []string) error {
 			Slots:      *admitSlots,
 			TargetUtil: *admitUtil,
 		}
+	}
+	if *tenants != "" {
+		reg, err := loadTenants(*tenants, rt.Metrics())
+		if err != nil {
+			return err
+		}
+		skydCfg.Tenants = reg
+		log.Printf("tenant auth enabled: %d accounts from %s; /v1 now requires Authorization: Bearer <key>", reg.Len(), *tenants)
 	}
 	server, err := skyd.New(skydCfg)
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -133,5 +135,65 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-tenants", "/no/such/file.json"}); err == nil {
+		t.Fatal("missing tenant file accepted")
+	}
+}
+
+// TestTenantsFlagAuth boots skyd with -tenants pointing at a JSON file and
+// proves the auth boundary end to end: no key → 401 missing_key envelope,
+// a loaded key → 200.
+func TestTenantsFlagAuth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	blob := `[{"id":"ops","name":"Ops","keys":["sk-test-ops"],"admin":true}]`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	base := "http://" + addr
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-speedup", "1e6", "-tenants", path})
+	}()
+	defer func() {
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Error("run did not exit after SIGTERM")
+		}
+	}()
+	waitHealthy(t, base)
+	time.Sleep(100 * time.Millisecond)
+
+	res, err := http.Get(base + "/v1/zones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusUnauthorized || env.Error.Code != "missing_key" {
+		t.Fatalf("unauthenticated /v1/zones = %d %q, want 401 missing_key", res.StatusCode, env.Error.Code)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/v1/zones", nil)
+	req.Header.Set("Authorization", "Bearer sk-test-ops")
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("keyed /v1/zones = %d, want 200", res.StatusCode)
 	}
 }

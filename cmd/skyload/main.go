@@ -16,6 +16,12 @@
 //	skyload -url http://localhost:8080 -rps 20 -duration 10s -workload sha1_hash
 //	skyload -url http://localhost:8080 -pattern ramp -base-rps 2 -rps 60 -duration 30s \
 //	        -mix "sha1_hash=3,thumbnailer=1" -json
+//
+// Against an auth-enabled skyd (-tenants), pass a tenant API key with -key
+// or the SKY_API_KEY environment variable:
+//
+//	skyd -addr :8080 -admission -tenants fixture &
+//	SKY_API_KEY=sk-acme-7f3a skyload -rps 20 -duration 10s -workload sha1_hash
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 
 	"skyfaas/internal/load"
 	"skyfaas/internal/rng"
+	"skyfaas/internal/skyapi"
 	"skyfaas/internal/workload"
 )
 
@@ -46,6 +53,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("skyload", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	url := fs.String("url", "http://127.0.0.1:8080", "skyd base URL")
+	key := fs.String("key", skyapi.KeyFromEnv(), "tenant API key for an auth-enabled skyd (default $SKY_API_KEY; empty = unauthenticated)")
 	pattern := fs.String("pattern", "constant", "arrival pattern: constant, ramp, or diurnal")
 	rps := fs.Float64("rps", 10, "peak offered requests per second")
 	baseRPS := fs.Float64("base-rps", 0, "ramp start / diurnal trough RPS")
@@ -117,7 +125,7 @@ func run(args []string) error {
 		wg.Add(1)
 		go func(w workload.ID) {
 			defer wg.Done()
-			fire(client, *url, rec, burstBody{
+			fire(client, *url, *key, rec, burstBody{
 				Workload:   w.String(),
 				Strategy:   *strategy,
 				AZ:         *az,
@@ -151,15 +159,27 @@ type burstBody struct {
 
 // fire issues one burst request and records its outcome. Latency is wall
 // time to the full response; sheds also record the server's Retry-After.
-func fire(client *http.Client, base string, rec *load.Recorder, body burstBody) {
+// The generator deliberately bypasses the skyapi client on this hot path:
+// the recorder classifies raw status codes (a tenant-quota 429 is a shed,
+// not an error), and allocating typed errors per request would be waste.
+func fire(client *http.Client, base, key string, rec *load.Recorder, body burstBody) {
 	rec.Begin()
 	buf, err := json.Marshal(body)
 	if err != nil {
 		rec.Record(load.Errored, 0)
 		return
 	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/burst", strings.NewReader(string(buf)))
+	if err != nil {
+		rec.Record(load.Errored, 0)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
 	start := time.Now()
-	res, err := client.Post(base+"/v1/burst", "application/json", strings.NewReader(string(buf)))
+	res, err := client.Do(req)
 	if err != nil {
 		rec.Record(load.Errored, msSince(start))
 		return

@@ -168,6 +168,41 @@ func TestRunTableReport(t *testing.T) {
 	}
 }
 
+// TestKeyReachesWire: -key must authenticate every burst, and with no flag
+// the SKY_API_KEY environment variable is the default.
+func TestKeyReachesWire(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Header.Get("Authorization")]++
+		mu.Unlock()
+		_, _ = w.Write([]byte(`{"completed":1}`))
+	}))
+	defer srv.Close()
+
+	base := []string{"-url", srv.URL, "-rps", "40", "-duration", "100ms", "-json"}
+	capture(t, func() {
+		if err := run(append(base, "-key", "sk-flag")); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Setenv("SKY_API_KEY", "sk-env")
+	capture(t, func() {
+		if err := run(base); err != nil {
+			t.Error(err)
+		}
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if seen["Bearer sk-flag"] == 0 || seen["Bearer sk-env"] == 0 {
+		t.Fatalf("auth headers seen = %v, want both Bearer sk-flag and Bearer sk-env", seen)
+	}
+	if seen[""] != 0 {
+		t.Fatalf("%d requests went out unauthenticated: %v", seen[""], seen)
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
 	if err := run([]string{"-workload", "no_such_fn", "-duration", "1ms"}); err == nil {
 		t.Fatal("unknown workload accepted")

@@ -5,12 +5,19 @@
 //
 //	skyroute -workload zipper -n 500
 //	skyroute -workload logistic_regression -zones us-west-1a,us-west-1b,sa-east-1a
+//
+// By default the comparison runs an in-process simulation; -url points it
+// at a running skyd instead, with -key (or SKY_API_KEY) authenticating
+// against an auth-enabled instance:
+//
+//	skyroute -url http://localhost:8080 -key sk-acme-7f3a -workload zipper -n 200
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,6 +25,7 @@ import (
 	"skyfaas/internal/geo"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sim"
+	"skyfaas/internal/skyapi"
 	"skyfaas/internal/tablefmt"
 	"skyfaas/internal/workload"
 )
@@ -41,6 +49,8 @@ func run(args []string) error {
 	client := fs.String("client", "", "client city (seattle, london, tokyo, ...): adds latency-bound and cost-aware strategies")
 	maxRTT := fs.Duration("max-rtt", 120*time.Millisecond, "latency bound for the -client strategy")
 	dumpMetrics := fs.Bool("metrics", false, "dump a Prometheus-text metrics snapshot after the run")
+	url := fs.String("url", "", "drive a running skyd at this base URL instead of an in-process simulation")
+	key := fs.String("key", skyapi.KeyFromEnv(), "tenant API key for an auth-enabled skyd (default $SKY_API_KEY; only used with -url)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +77,14 @@ func run(args []string) error {
 	if len(zones) == 0 {
 		return fmt.Errorf("no zones given")
 	}
+	specs := strategySpecs(zones[0], *client, clientLoc, *maxRTT)
+
+	if *url != "" {
+		// Remote mode: the running skyd owns the simulation; unknown zones
+		// come back as 404 unknown_az from the server instead of the local
+		// catalog check below.
+		return runRemote(*url, *key, spec, zones, specs, *n, *profileRuns, *refreshPolls)
+	}
 
 	rt, err := core.New(core.Config{Seed: *seed, SkipMesh: true})
 	if err != nil {
@@ -77,7 +95,6 @@ func run(args []string) error {
 			return fmt.Errorf("unknown AZ %q", z)
 		}
 	}
-	fixed := zones[0]
 
 	err = rt.Do(func(p *sim.Proc) error {
 		fmt.Printf("characterizing %d zones (%d polls each)...\n", len(zones), *refreshPolls)
@@ -96,23 +113,6 @@ func run(args []string) error {
 			return err
 		}
 
-		specs := []router.StrategySpec{
-			{Name: "baseline", AZ: fixed},
-			{Name: "regional"},
-			{Name: "retry-slow", AZ: fixed},
-			{Name: "focus-fastest", AZ: fixed},
-			{Name: "hybrid"},
-		}
-		if *client != "" {
-			specs = append(specs,
-				router.StrategySpec{Name: "latency-bound", Params: map[string]float64{
-					"maxRTTMS":  float64(*maxRTT) / float64(time.Millisecond),
-					"clientLat": clientLoc.Lat,
-					"clientLon": clientLoc.Lon,
-				}},
-				router.StrategySpec{Name: "cost-aware"},
-			)
-		}
 		strategies := make([]router.Strategy, 0, len(specs))
 		for _, sp := range specs {
 			s, err := router.Build(sp,
@@ -162,4 +162,110 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// strategySpecs is the comparison lineup, shared by the in-process and
+// remote paths: the fixed-zone baselines pin to the first zone, and a
+// -client city adds the latency-bound and cost-aware arms.
+func strategySpecs(fixed, client string, clientLoc geo.Coord, maxRTT time.Duration) []router.StrategySpec {
+	specs := []router.StrategySpec{
+		{Name: "baseline", AZ: fixed},
+		{Name: "regional"},
+		{Name: "retry-slow", AZ: fixed},
+		{Name: "focus-fastest", AZ: fixed},
+		{Name: "hybrid"},
+	}
+	if client != "" {
+		specs = append(specs,
+			router.StrategySpec{Name: "latency-bound", Params: map[string]float64{
+				"maxRTTMS":  float64(maxRTT) / float64(time.Millisecond),
+				"clientLat": clientLoc.Lat,
+				"clientLon": clientLoc.Lon,
+			}},
+			router.StrategySpec{Name: "cost-aware"},
+		)
+	}
+	return specs
+}
+
+// runRemote replays the same characterize → profile → burst sequence
+// against a running skyd over its /v1 API, one burst per strategy.
+func runRemote(base, key string, spec workload.Spec, zones []string, specs []router.StrategySpec, n, profileRuns, refreshPolls int) error {
+	c := skyapi.New(base, key)
+	fmt.Printf("characterizing %d zones (%d polls each) via %s...\n", len(zones), refreshPolls, base)
+	var sampleCost float64
+	for _, z := range zones {
+		var ch struct {
+			CostUSD float64            `json:"costUSD"`
+			Dist    map[string]float64 `json:"dist"`
+		}
+		if err := c.Post("/v1/characterize", map[string]any{"az": z, "polls": refreshPolls}, &ch); err != nil {
+			return err
+		}
+		sampleCost += ch.CostUSD
+		fmt.Printf("  %-16s %s\n", z, fmtDist(ch.Dist))
+	}
+	fmt.Printf("profiling %s (%d runs per zone)...\n", spec.Name, profileRuns)
+	var prof struct {
+		CostUSD float64 `json:"costUSD"`
+	}
+	if err := c.Post("/v1/profile", map[string]any{"workload": spec.Name, "zones": zones, "runs": profileRuns}, &prof); err != nil {
+		return err
+	}
+
+	t := tablefmt.New("strategy", "zone", "cost", "vs baseline", "meanMS", "retried", "elapsed")
+	var baseCost float64
+	for _, sp := range specs {
+		body := map[string]any{"strategy": sp.Name, "workload": spec.Name, "n": n, "candidates": zones}
+		if sp.AZ != "" {
+			body["az"] = sp.AZ
+		}
+		if len(sp.Params) > 0 {
+			body["params"] = sp.Params
+		}
+		var res struct {
+			AZ        string  `json:"az"`
+			CostUSD   float64 `json:"costUSD"`
+			MeanRunMS float64 `json:"meanRunMS"`
+			RetryFrac float64 `json:"retryFrac"`
+			ElapsedMS float64 `json:"elapsedMS"`
+		}
+		if err := c.Post("/v1/burst", body, &res); err != nil {
+			return err
+		}
+		if sp.Name == "baseline" {
+			baseCost = res.CostUSD
+		}
+		vs := "-"
+		if baseCost > 0 && sp.Name != "baseline" {
+			vs = tablefmt.Pct(1 - res.CostUSD/baseCost)
+		}
+		elapsed := time.Duration(res.ElapsedMS * float64(time.Millisecond))
+		t.Row(sp.Name, res.AZ, tablefmt.USD(res.CostUSD), vs,
+			fmt.Sprintf("%.0f", res.MeanRunMS), tablefmt.Pct(res.RetryFrac),
+			elapsed.Truncate(1e7).String())
+	}
+	fmt.Printf("\n%s burst of %d on zones %v\n%s", spec.Name, n, zones, t.String())
+	fmt.Printf("\nsampling spend %s, profiling spend %s\n", tablefmt.USD(sampleCost), tablefmt.USD(prof.CostUSD))
+	return nil
+}
+
+// fmtDist renders a wire-form CPU share map largest-first, matching the
+// in-process characterization stringer closely enough for eyeballing.
+func fmtDist(dist map[string]float64) string {
+	keys := make([]string, 0, len(dist))
+	for k := range dist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if dist[keys[i]] != dist[keys[j]] {
+			return dist[keys[i]] > dist[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s %.0f%%", k, dist[k]*100)
+	}
+	return strings.Join(parts, ", ")
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -46,6 +51,83 @@ func TestRouteComparisonTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+// fakeSkyd answers the three /v1 calls remote mode makes, recording the
+// Authorization header and the burst strategies it saw.
+type fakeSkyd struct {
+	mu         sync.Mutex
+	auth       map[string]bool
+	strategies []string
+}
+
+func (f *fakeSkyd) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.auth[r.Header.Get("Authorization")] = true
+	f.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	switch r.URL.Path {
+	case "/v1/characterize":
+		_, _ = w.Write([]byte(`{"az":"t1-a","costUSD":0.01,"dist":{"Xeon-2.5":0.6,"EPYC-2.0":0.4}}`))
+	case "/v1/profile":
+		_, _ = w.Write([]byte(`{"workload":"zipper","costUSD":0.25}`))
+	case "/v1/burst":
+		var body struct {
+			Strategy string `json:"strategy"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&body)
+		f.mu.Lock()
+		f.strategies = append(f.strategies, body.Strategy)
+		f.mu.Unlock()
+		_, _ = w.Write([]byte(`{"az":"t1-a","costUSD":0.5,"meanRunMS":120,"retryFrac":0.1,"elapsedMS":2500}`))
+	default:
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":{"code":"http_error","message":"no such endpoint"}}`))
+	}
+}
+
+func TestRemoteMode(t *testing.T) {
+	fake := &fakeSkyd{auth: map[string]bool{}}
+	srv := httptest.NewServer(fake)
+	defer srv.Close()
+
+	out, err := capture(t, []string{
+		"-url", srv.URL, "-key", "sk-test",
+		"-workload", "zipper", "-n", "10",
+		"-zones", "t1-a,t1-b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline", "hybrid", "sampling spend", srv.URL} {
+		if !strings.Contains(out, want) {
+			t.Errorf("remote output missing %q:\n%s", want, out)
+		}
+	}
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if !fake.auth["Bearer sk-test"] || len(fake.auth) != 1 {
+		t.Errorf("auth headers seen = %v, want only Bearer sk-test", fake.auth)
+	}
+	wantStrats := []string{"baseline", "regional", "retry-slow", "focus-fastest", "hybrid"}
+	if !reflect.DeepEqual(fake.strategies, wantStrats) {
+		t.Errorf("burst strategies = %v, want %v", fake.strategies, wantStrats)
+	}
+}
+
+// TestRemoteModeSurfacesEnvelope: a typed server error (here an auth
+// failure) must reach the user as its code and message, not a JSON blob.
+func TestRemoteModeSurfacesEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnauthorized)
+		_, _ = w.Write([]byte(`{"error":{"code":"missing_key","message":"authentication required"}}`))
+	}))
+	defer srv.Close()
+	_, err := capture(t, []string{"-url", srv.URL, "-workload", "zipper"})
+	if err == nil || !strings.Contains(err.Error(), "missing_key") {
+		t.Fatalf("err = %v, want missing_key surfaced", err)
 	}
 }
 

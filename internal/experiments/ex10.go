@@ -1,0 +1,441 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"skyfaas/internal/admission"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/faas"
+	"skyfaas/internal/load"
+	"skyfaas/internal/rng"
+	"skyfaas/internal/sampler"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/tablefmt"
+	"skyfaas/internal/tenant"
+	"skyfaas/internal/workload"
+)
+
+// EX-10 — multi-tenant fairness under an aggressor storm. Two tenants share
+// one zone and one global admission gate: a steady tenant running at a
+// modest fraction of capacity, and an aggressor firing a throttle storm
+// several times over capacity. Under the global-only gate the two
+// populations race for the same slots, so the aggressor's arrival-rate
+// advantage translates directly into the victim's starvation — its goodput
+// collapses to roughly the gate's overall admission probability. With
+// per-tenant concurrency quotas layered in front (the skyd tenant
+// registry's Acquire/Release governors), the aggressor saturates its own
+// slot allowance and sheds there, the victim's traffic fits comfortably in
+// the remainder, and its goodput and served p99 hold at the uncontended
+// baseline.
+
+// The three arms: the victim alone (baseline), both tenants with only the
+// global gate, and both tenants with per-tenant quotas in front of it.
+const (
+	EX10Uncontended = "uncontended"
+	EX10GlobalOnly  = "global-only"
+	EX10PerTenant   = "per-tenant"
+)
+
+// The two tenant IDs.
+const (
+	EX10Victim    = "steady"
+	EX10Aggressor = "storm"
+)
+
+// EX10Config parameterizes EX-10.
+type EX10Config struct {
+	Seed uint64
+	// Shards selects the simulation engine (0/1 single-queue, N > 1
+	// sharded); replay is byte-identical across values.
+	Shards int
+	// Zone is the shared zone (default us-west-1a).
+	Zone string
+	// Workload both tenants run (default sha1_hash, ~1s service time).
+	Workload workload.ID
+	// Quota is the provider-side concurrent execution limit the global gate
+	// protects (default 60; the gate's slot limit is TargetUtil x Quota).
+	Quota int
+	// Duration is the measured load span per cell (default 30s virtual).
+	Duration time.Duration
+	// VictimMultiple is the steady tenant's offered rate as a fraction of
+	// the gate's estimated capacity (default 0.4).
+	VictimMultiple float64
+	// StormMultiple is the aggressor's offered rate as a multiple of
+	// estimated capacity (default 4 — a sustained throttle storm).
+	StormMultiple float64
+	// VictimSlots / AggressorSlots are the per-tenant concurrency quotas in
+	// the per-tenant arm. The defaults partition the gate's slot limit
+	// (TargetUtil x Quota = 54): 34 slots give the victim's ~22 mean
+	// in-flight comfortable headroom, 20 cap the aggressor.
+	VictimSlots    int
+	AggressorSlots int
+	// InitPolls seeds the gate's service-time estimate (default 2).
+	InitPolls int
+	// ProfileRuns trains the perf model and warms the pool (default 240).
+	ProfileRuns int
+	// Retry is the client retry policy (default 6 attempts, 50ms base; the
+	// gate keeps in-flight below the provider quota, so it rarely fires).
+	Retry faas.RetryPolicy
+	// Sampler overrides the polling configuration (default: EX-8's layout,
+	// scaled to fit the small quota).
+	Sampler sampler.Config
+}
+
+func (c EX10Config) withDefaults() EX10Config {
+	if c.Zone == "" {
+		c.Zone = "us-west-1a"
+	}
+	if c.Workload == 0 {
+		c.Workload = workload.Sha1Hash
+	}
+	if c.Quota == 0 {
+		c.Quota = 60
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.VictimMultiple == 0 {
+		c.VictimMultiple = 0.4
+	}
+	if c.StormMultiple == 0 {
+		c.StormMultiple = 4
+	}
+	if c.VictimSlots == 0 {
+		c.VictimSlots = 34
+	}
+	if c.AggressorSlots == 0 {
+		c.AggressorSlots = 20
+	}
+	if c.InitPolls == 0 {
+		c.InitPolls = 2
+	}
+	if c.ProfileRuns == 0 {
+		c.ProfileRuns = 240
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry = faas.RetryPolicy{MaxAttempts: 6, BaseBackoff: 50 * time.Millisecond}
+	}
+	if c.Sampler.Endpoints == 0 {
+		c.Sampler = sampler.Config{
+			Endpoints: 40, PollSize: 50, Branch: 7,
+			InterPollPause: 500 * time.Millisecond,
+		}
+	}
+	return c
+}
+
+// Reduced returns a benchmark-scale EX-10 (the same slot partition shape
+// against a 30-quota world: limit 27 = 20 victim + 7 aggressor).
+func (c EX10Config) Reduced() EX10Config {
+	c = c.withDefaults()
+	c.Quota = 30
+	c.Duration = 12 * time.Second
+	c.VictimSlots = 20
+	c.AggressorSlots = 7
+	c.ProfileRuns = 120
+	return c
+}
+
+// EX10Cell is one arm's measurement: each tenant's load digest.
+type EX10Cell struct {
+	Arm string
+	// CapacityRPS is the gate's capacity estimate in this cell's world;
+	// determinism makes it identical across cells, and RunEX10 checks that.
+	CapacityRPS float64
+	// Victim is the steady tenant's report; Aggressor is zero-valued in the
+	// uncontended arm.
+	Victim    load.Report
+	Aggressor load.Report
+}
+
+// EX10Result carries the fairness comparison, cells in arm order.
+type EX10Result struct {
+	Workload workload.ID
+	Zone     string
+	Quota    int
+	// CapacityRPS is the admission gate's estimated per-function capacity
+	// both tenants' offered rates scale from.
+	CapacityRPS    float64
+	VictimSlots    int
+	AggressorSlots int
+	Cells          []EX10Cell
+}
+
+// Cell returns the named arm's measurement.
+func (r EX10Result) Cell(arm string) (EX10Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Arm == arm {
+			return c, true
+		}
+	}
+	return EX10Cell{}, false
+}
+
+// Retention is the victim's goodput in the named arm as a fraction of its
+// uncontended baseline — the experiment's fairness headline.
+func (r EX10Result) Retention(arm string) float64 {
+	base, okB := r.Cell(EX10Uncontended)
+	c, okC := r.Cell(arm)
+	if !okB || !okC || base.Victim.GoodputRPS == 0 {
+		return 0
+	}
+	return c.Victim.GoodputRPS / base.Victim.GoodputRPS
+}
+
+// RunEX10 executes EX-10.
+func RunEX10(cfg EX10Config) (EX10Result, error) {
+	cfg = cfg.withDefaults()
+	res := EX10Result{
+		Workload: cfg.Workload, Zone: cfg.Zone, Quota: cfg.Quota,
+		VictimSlots: cfg.VictimSlots, AggressorSlots: cfg.AggressorSlots,
+	}
+	for _, arm := range []string{EX10Uncontended, EX10GlobalOnly, EX10PerTenant} {
+		cell, err := runEX10Cell(cfg, arm)
+		if err != nil {
+			return EX10Result{}, fmt.Errorf("ex10: %s: %w", arm, err)
+		}
+		if res.CapacityRPS == 0 {
+			res.CapacityRPS = cell.CapacityRPS
+		} else if res.CapacityRPS != cell.CapacityRPS {
+			// Same seed, same setup — a drifting estimate means the cell
+			// worlds diverged, which would invalidate the comparison.
+			return EX10Result{}, fmt.Errorf("ex10: capacity estimate drifted across cells: %v vs %v",
+				res.CapacityRPS, cell.CapacityRPS)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// runEX10Cell measures one arm in a fresh world: identical seed, identical
+// characterization and warmup — only the tenant population and whether the
+// per-tenant governors run differ.
+func runEX10Cell(cfg EX10Config, arm string) (EX10Cell, error) {
+	rt, err := core.New(core.Config{
+		Seed:       cfg.Seed,
+		Epoch:      defaultEpoch,
+		SamplerCfg: cfg.Sampler,
+		CloudOpts:  cloudsim.Options{Quota: cfg.Quota, HorizonDays: 2},
+		SkipMesh:   true,
+		Shards:     cfg.Shards,
+	})
+	if err != nil {
+		return EX10Cell{}, err
+	}
+	cell := EX10Cell{Arm: arm}
+	err = rt.Do(func(p *sim.Proc) error {
+		// The same estimate pipeline skyd uses: characterize, train the perf
+		// model, seed the gate. Every arm builds the gate so the capacity
+		// estimate (and hence both offered rates) is byte-identical.
+		if _, err := rt.Refresh(p, []string{cfg.Zone}, cfg.InitPolls); err != nil {
+			return err
+		}
+		if _, err := rt.ProfileWorkloads(p, []workload.ID{cfg.Workload}, []string{cfg.Zone}, cfg.ProfileRuns); err != nil {
+			return err
+		}
+		gate, err := rt.EnableAdmission(admission.Config{})
+		if err != nil {
+			return err
+		}
+		cell.CapacityRPS = gate.CapacityRPS(cfg.Workload)
+		if cell.CapacityRPS <= 0 {
+			return fmt.Errorf("no capacity estimate for %s", cfg.Workload)
+		}
+
+		// The per-tenant governors, present only in the per-tenant arm. The
+		// registry's explicit-now API takes virtual time, so the same seed
+		// replays the quota decisions bit-identically.
+		var reg *tenant.Registry
+		if arm == EX10PerTenant {
+			reg = tenant.NewRegistry(tenant.Config{})
+			for _, t := range []tenant.Tenant{
+				{ID: EX10Victim, Name: "Steady tenant", Keys: []string{"sk-steady"}, QuotaSlots: cfg.VictimSlots},
+				{ID: EX10Aggressor, Name: "Aggressor", Keys: []string{"sk-storm"}, QuotaSlots: cfg.AggressorSlots},
+			} {
+				if err := reg.Create(t, rt.Env().Now()); err != nil {
+					return err
+				}
+			}
+		}
+
+		ep, ok := rt.Mesh().Lookup(cfg.Zone, 4096, cpu.X86)
+		if !ok {
+			return fmt.Errorf("no mesh endpoint in %s", cfg.Zone)
+		}
+		env := rt.Env()
+		client := rt.Client()
+		spec := faas.InvokeSpec{
+			Call: faas.Call{
+				AZ:       cfg.Zone,
+				Function: ep.Function,
+				Work:     cloudsim.WorkBehavior{Workload: cfg.Workload},
+			},
+			Retry: cfg.Retry,
+		}
+
+		// Build both tenants' open-loop schedules from independent seed
+		// streams so the aggressor's presence never perturbs the victim's
+		// arrival times across arms.
+		type population struct {
+			id       string
+			offered  float64
+			arrivals []time.Duration
+			rec      *load.Recorder
+		}
+		victim := &population{
+			id:      EX10Victim,
+			offered: cfg.VictimMultiple * cell.CapacityRPS,
+			rec:     load.NewRecorder(),
+		}
+		pops := []*population{victim}
+		if arm != EX10Uncontended {
+			pops = append(pops, &population{
+				id:      EX10Aggressor,
+				offered: cfg.StormMultiple * cell.CapacityRPS,
+				rec:     load.NewRecorder(),
+			})
+		}
+		remaining := 0
+		for _, pop := range pops {
+			sched := load.Schedule{Pattern: load.Constant, PeakRPS: pop.offered, Duration: cfg.Duration}
+			if err := sched.Validate(); err != nil {
+				return err
+			}
+			pop.arrivals = sched.Arrivals(rng.New(cfg.Seed).Split("ex10/" + pop.id))
+			if len(pop.arrivals) == 0 {
+				return fmt.Errorf("empty arrival schedule for %s", pop.id)
+			}
+			remaining += len(pop.arrivals)
+		}
+
+		start := env.Now()
+		drained := sim.NewEvent(env)
+		finish := func() {
+			if remaining--; remaining == 0 {
+				drained.Trigger(nil)
+			}
+		}
+		for _, pop := range pops {
+			id, rec := pop.id, pop.rec
+			for _, at := range pop.arrivals {
+				env.Schedule(at, func() {
+					rec.Begin()
+					// Layer 1: the tenant's own quota. Shedding here never
+					// touches the global gate — that isolation is the whole
+					// point.
+					var lease tenant.Lease
+					if reg != nil {
+						l, acqErr := reg.Acquire(id, 1, env.Now())
+						if acqErr != nil {
+							var le *tenant.LimitError
+							if errors.As(acqErr, &le) {
+								rec.RecordRetryAfter(le.RetryAfter)
+							}
+							rec.Record(load.Shed, 0)
+							finish()
+							return
+						}
+						lease = l
+					}
+					// Layer 2: the shared global gate.
+					tk, admitErr := gate.Admit(env.Now(), cfg.Workload, 1)
+					if admitErr != nil {
+						if reg != nil {
+							reg.Release(lease, env.Now(), 0)
+						}
+						var shed *admission.ShedError
+						if errors.As(admitErr, &shed) {
+							rec.RecordRetryAfter(shed.RetryAfter)
+						}
+						rec.Record(load.Shed, 0)
+						finish()
+						return
+					}
+					sent := env.Now()
+					env.Go("ex10-req", func(rp *sim.Proc) error {
+						resp := client.Do(rp, spec)
+						end := env.Now()
+						gate.Done(tk, end, resp.BilledMS, resp.OK())
+						if reg != nil {
+							reg.Release(lease, end, resp.CostUSD)
+						}
+						latMS := float64(end.Sub(sent)) / float64(time.Millisecond)
+						if resp.OK() {
+							rec.Record(load.OK, latMS)
+						} else {
+							rec.Record(load.Errored, latMS)
+						}
+						finish()
+						return nil
+					})
+				})
+			}
+		}
+		p.Wait(drained)
+		elapsed := env.Now().Sub(start)
+		cell.Victim = victim.rec.Report(victim.offered, elapsed)
+		if arm != EX10Uncontended {
+			agg := pops[1]
+			cell.Aggressor = agg.rec.Report(agg.offered, elapsed)
+		}
+		return nil
+	})
+	if err != nil {
+		return EX10Cell{}, err
+	}
+	return cell, nil
+}
+
+// Render produces the fairness report.
+func (r EX10Result) Render() string {
+	out := fmt.Sprintf("EX-10 — per-tenant fairness under an aggressor storm (%s in %s, quota %d, est. capacity %.1f rps, tenant slots %d/%d)\n\n",
+		r.Workload, r.Zone, r.Quota, r.CapacityRPS, r.VictimSlots, r.AggressorSlots)
+	t := tablefmt.New("arm", "tenant", "offered", "goodput", "retention", "shed", "errors", "p50 ms", "p99 ms")
+	row := func(arm, tenantID string, rep load.Report, retention string) {
+		t.Row(arm, tenantID,
+			fmt.Sprintf("%.1f", rep.OfferedRPS), fmt.Sprintf("%.1f", rep.GoodputRPS), retention,
+			fmt.Sprintf("%d (%s)", rep.Shed, tablefmt.Pct(rep.ShedRate)),
+			rep.Errors,
+			fmt.Sprintf("%.0f", rep.Latency.P50), fmt.Sprintf("%.0f", rep.Latency.P99))
+	}
+	for _, c := range r.Cells {
+		row(c.Arm, EX10Victim, c.Victim, tablefmt.Pct(r.Retention(c.Arm)))
+		if c.Arm != EX10Uncontended {
+			row(c.Arm, EX10Aggressor, c.Aggressor, "-")
+		}
+	}
+	out += t.String()
+	if gOnly, ok := r.Cell(EX10GlobalOnly); ok {
+		if perT, ok2 := r.Cell(EX10PerTenant); ok2 {
+			out += fmt.Sprintf("\nheadline: the storm under a global-only gate starved the steady tenant to %s of its baseline goodput (p99 %.0f ms); per-tenant quotas held it at %s (p99 %.0f ms) while shedding %s of the aggressor\n",
+				tablefmt.Pct(r.Retention(EX10GlobalOnly)), gOnly.Victim.Latency.P99,
+				tablefmt.Pct(r.Retention(EX10PerTenant)), perT.Victim.Latency.P99,
+				tablefmt.Pct(perT.Aggressor.ShedRate))
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the fairness table as one dataset.
+func (r EX10Result) WriteCSV(dir string) error {
+	t := tablefmt.New("arm", "tenant", "offered_rps", "goodput_rps", "achieved_rps",
+		"requests", "ok", "shed", "errors", "p50_ms", "p90_ms", "p95_ms", "p99_ms",
+		"mean_retry_after_ms", "retention")
+	row := func(arm, tenantID string, rep load.Report, retention float64) {
+		t.Row(arm, tenantID, rep.OfferedRPS, rep.GoodputRPS, rep.AchievedRPS,
+			rep.Requests, rep.OK, rep.Shed, rep.Errors,
+			rep.Latency.P50, rep.Latency.P90, rep.Latency.P95, rep.Latency.P99,
+			rep.MeanRetryAfterMS, retention)
+	}
+	for _, c := range r.Cells {
+		row(c.Arm, EX10Victim, c.Victim, r.Retention(c.Arm))
+		if c.Arm != EX10Uncontended {
+			row(c.Arm, EX10Aggressor, c.Aggressor, 0)
+		}
+	}
+	return writeCSVFile(dir, "ex10_fairness.csv", t)
+}

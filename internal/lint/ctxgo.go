@@ -13,6 +13,7 @@ var ctxgoScope = []string{
 	"cmd/skyd",
 	"internal/workload",
 	"internal/chaos",
+	"internal/tenant",
 }
 
 var ctxgoAnalyzer = &Analyzer{

@@ -15,6 +15,7 @@ var nodetermScope = []string{
 	"internal/refresh",
 	"internal/admission",
 	"internal/load",
+	"internal/tenant",
 }
 
 // nodetermTimeFuncs are the wall-clock entry points of package time that

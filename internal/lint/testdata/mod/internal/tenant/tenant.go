@@ -1,0 +1,41 @@
+// Package tenant is a skylint fixture: the real registry serves both the
+// live skyd (wall time) and EX-10 (virtual time), so every quota/budget
+// decision takes an explicit `now` from the caller (nodeterm), and as a
+// server-side package it must not leak unjoined goroutines (ctxgo).
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// Acquire stamps the lease off the wall clock — forbidden: the caller
+// passes now, real for skyd, virtual for experiments.
+func Acquire() time.Time {
+	return time.Now() //want nodeterm
+}
+
+// AcquireAt is the correct shape: explicit now from the caller.
+func AcquireAt(now time.Time) time.Time {
+	return now
+}
+
+// Expire fires an unjoined background sweep — forbidden: the goroutine
+// holds registry state with no cancellation or join path.
+func Expire() {
+	go func() { //want ctxgo
+		var n int
+		n++
+		_ = n
+	}()
+}
+
+// ExpireJoined is fine: the sweep is joined before return.
+func ExpireJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

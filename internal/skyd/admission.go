@@ -1,10 +1,8 @@
 package skyd
 
 import (
-	"fmt"
-	"math"
+	"context"
 	"net/http"
-	"strconv"
 
 	"skyfaas/internal/admission"
 )
@@ -13,12 +11,10 @@ import (
 // (slots, utilization, per-function capacity estimates); POST /v1/admission
 // retunes it (enable/disable, slots, utilization targets). Shedding itself
 // happens in the burst path: over-capacity requests answer 429 with a
-// Retry-After header and a typed JSON body (shedJS).
+// Retry-After header and the documented error envelope, code "overloaded".
 
-// shedJS is the 429 body an admission rejection produces.
-type shedJS struct {
-	Error        string  `json:"error"`
-	Shed         bool    `json:"shed"` // discriminates from other error bodies
+// shedDetailJS is the detail payload of an admission-shed envelope.
+type shedDetailJS struct {
 	Workload     string  `json:"workload"`
 	RetryAfterMS float64 `json:"retryAfterMS"`
 	Inflight     int     `json:"inflight"`
@@ -26,60 +22,55 @@ type shedJS struct {
 	Utilization  float64 `json:"utilization"`
 }
 
-// writeShed answers a *ShedError as HTTP 429 with Retry-After (whole
-// seconds, rounded up, per RFC 9110) and the typed JSON body.
-func writeShed(w http.ResponseWriter, fn string, shed *admission.ShedError) {
-	secs := int(math.Ceil(shed.RetryAfter.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSON(w, http.StatusTooManyRequests, shedJS{
-		Error:        shed.Error(),
-		Shed:         true,
+// shedToAPIError converts a global-gate rejection into the envelope: 429,
+// code "overloaded", Retry-After header and retryAfterMS from the
+// controller's hint, detail carrying the gate telemetry.
+func shedToAPIError(fn string, shed *admission.ShedError) *apiError {
+	e := apiErrf(http.StatusTooManyRequests, "overloaded", "%v", shed)
+	e.retryAfter = shed.RetryAfter
+	e.detail = shedDetailJS{
 		Workload:     fn,
 		RetryAfterMS: float64(shed.RetryAfter.Milliseconds()),
 		Inflight:     shed.Inflight,
 		Limit:        shed.Limit,
 		Utilization:  shed.Utilization,
-	})
+	}
+	return e
 }
 
 // errAdmissionDisabled answers both endpoints when the server was built
 // without an admission configuration.
-var errAdmissionDisabled = fmt.Errorf("admission control not enabled (start skyd with an admission config)")
+func errAdmissionDisabled() *apiError {
+	return apiErrf(http.StatusConflict, "admission_disabled",
+		"admission control not enabled (start skyd with an admission config)")
+}
 
-func (s *Server) handleAdmissionStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdmissionStatus(ctx context.Context, r *apiReq) (any, *apiError) {
 	gate := s.gate
 	if gate == nil {
-		writeErr(w, http.StatusConflict, errAdmissionDisabled)
-		return
+		return nil, errAdmissionDisabled()
 	}
 	// The controller is mutex-guarded, not simulation state: snapshot
 	// directly, no command round-trip.
-	writeJSON(w, http.StatusOK, gate.Snapshot())
+	return gate.Snapshot(), nil
 }
 
-func (s *Server) handleAdmissionControl(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdmissionControl(ctx context.Context, r *apiReq) (any, *apiError) {
 	gate := s.gate
 	if gate == nil {
-		writeErr(w, http.StatusConflict, errAdmissionDisabled)
-		return
+		return nil, errAdmissionDisabled()
 	}
 	var req admission.Retune
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+	if e := r.decode(&req); e != nil {
+		return nil, e
 	}
 	if req.Enabled == nil && req.Slots == 0 && req.TargetUtil == 0 &&
 		req.PressureUtil == 0 && req.EWMAAlpha == 0 {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("provide at least one of enabled, slots, targetUtil, pressureUtil, ewmaAlpha"))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "bad_request",
+			"provide at least one of enabled, slots, targetUtil, pressureUtil, ewmaAlpha")
 	}
 	if err := gate.Apply(req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, apiErrf(http.StatusBadRequest, "bad_retune", "%v", err)
 	}
-	writeJSON(w, http.StatusOK, gate.Snapshot())
+	return gate.Snapshot(), nil
 }

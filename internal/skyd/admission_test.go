@@ -50,14 +50,10 @@ func newAdmissionServer(t *testing.T, slots int) *Server {
 
 func TestAdmissionDisabled409(t *testing.T) {
 	s := newTestServer(t)
-	res, _ := do(t, s, "GET", "/v1/admission", nil)
-	if res.StatusCode != http.StatusConflict {
-		t.Fatalf("GET without admission: status %d, want 409", res.StatusCode)
-	}
-	res, _ = do(t, s, "POST", "/v1/admission", map[string]any{"slots": 10})
-	if res.StatusCode != http.StatusConflict {
-		t.Fatalf("POST without admission: status %d, want 409", res.StatusCode)
-	}
+	res, body := do(t, s, "GET", "/v1/admission", nil)
+	wantErr(t, res, body, http.StatusConflict, "admission_disabled")
+	res, body = do(t, s, "POST", "/v1/admission", map[string]any{"slots": 10})
+	wantErr(t, res, body, http.StatusConflict, "admission_disabled")
 }
 
 func TestAdmissionStatusAndRetune(t *testing.T) {
@@ -85,14 +81,10 @@ func TestAdmissionStatusAndRetune(t *testing.T) {
 		t.Fatalf("retuned snapshot = %+v", snap)
 	}
 
-	res, _ = do(t, s, "POST", "/v1/admission", map[string]any{"targetUtil": 3.0})
-	if res.StatusCode != http.StatusBadRequest {
-		t.Fatalf("invalid retune status %d, want 400", res.StatusCode)
-	}
-	res, _ = do(t, s, "POST", "/v1/admission", map[string]any{})
-	if res.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty retune status %d, want 400", res.StatusCode)
-	}
+	res, body = do(t, s, "POST", "/v1/admission", map[string]any{"targetUtil": 3.0})
+	wantErr(t, res, body, http.StatusBadRequest, "bad_retune")
+	res, body = do(t, s, "POST", "/v1/admission", map[string]any{})
+	wantErr(t, res, body, http.StatusBadRequest, "bad_request")
 }
 
 func TestBurstShedsWith429(t *testing.T) {
@@ -101,18 +93,16 @@ func TestBurstShedsWith429(t *testing.T) {
 	res, body := do(t, s, "POST", "/v1/burst", map[string]any{
 		"workload": "sha1_hash", "strategy": "baseline", "az": "t1-a", "n": 40,
 	})
-	if res.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("status %d, want 429: %s", res.StatusCode, body)
+	env := wantErr(t, res, body, http.StatusTooManyRequests, "overloaded")
+	var detail shedDetailJS
+	if err := json.Unmarshal(env.Error.Detail, &detail); err != nil {
+		t.Fatalf("shed detail: %v: %s", err, env.Error.Detail)
 	}
-	if ra := res.Header.Get("Retry-After"); ra == "" {
-		t.Error("429 without Retry-After header")
+	if detail.Workload != "sha1_hash" || detail.RetryAfterMS <= 0 || detail.Limit != 5 {
+		t.Fatalf("shed detail = %+v", detail)
 	}
-	var shed shedJS
-	if err := json.Unmarshal(body, &shed); err != nil {
-		t.Fatal(err)
-	}
-	if !shed.Shed || shed.Workload != "sha1_hash" || shed.RetryAfterMS <= 0 {
-		t.Fatalf("shed body = %+v", shed)
+	if env.Error.RetryAfterMS != detail.RetryAfterMS {
+		t.Fatalf("envelope retryAfterMS %v != detail %v", env.Error.RetryAfterMS, detail.RetryAfterMS)
 	}
 
 	// The gate books the shed and the snapshot reflects it.

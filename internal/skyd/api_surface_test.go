@@ -1,0 +1,74 @@
+package skyd
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestAPISurfaceGolden snapshots the /v1 surface — {method, path,
+// auth-requirement} straight from the route table — against a checked-in
+// golden. Adding, removing, or re-scoping an endpoint is an API contract
+// change; this test makes it a visible diff in review instead of a silent
+// side effect. Refresh deliberately with:
+//
+//	go test ./internal/skyd/ -run APISurface -update
+func TestAPISurfaceGolden(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# The /v1 API surface: METHOD PATH AUTH.\n")
+	b.WriteString("# AUTH is open (no key), key (any tenant), or admin (operator tenants\n")
+	b.WriteString("# only); enforced when skyd runs with a tenant registry.\n")
+	for _, def := range apiRouteDefs() {
+		auth := "open"
+		switch {
+		case def.admin:
+			auth = "admin"
+		case def.auth:
+			auth = "key"
+		}
+		fmt.Fprintf(&b, "%-6s %-28s %s\n", def.method, def.path, auth)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "api_surface.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("API surface drifted from %s (run with -update after reviewing the change):\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestRouteTableSane: the defs must be unique and admin implies auth —
+// an admin route that skipped authentication would be an open door.
+func TestRouteTableSane(t *testing.T) {
+	seen := map[string]bool{}
+	for _, def := range apiRouteDefs() {
+		key := def.method + " " + def.path
+		if seen[key] {
+			t.Errorf("duplicate route %s", key)
+		}
+		seen[key] = true
+		if def.admin && !def.auth {
+			t.Errorf("%s is admin-only but unauthenticated", key)
+		}
+		if !strings.HasPrefix(def.path, "/v1/") {
+			t.Errorf("%s outside /v1", key)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 package skyd
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"net/http"
 	"strings"
 	"time"
@@ -73,33 +73,38 @@ func statusJS(st chaos.Status) faultStatusJS {
 	}
 }
 
-// badFault reports whether err is the caller's fault (a 400) rather than a
-// runtime failure.
-func badFault(err error) bool {
-	return errors.Is(err, chaos.ErrUnknownKind) ||
-		errors.Is(err, chaos.ErrBadFault) ||
-		errors.Is(err, cloudsim.ErrNoSuchAZ)
+// faultErr maps an injection failure onto the envelope: malformed faults
+// are the caller's 400, an unknown zone the caller's 404, anything else an
+// upstream failure.
+func faultErr(err error) *apiError {
+	switch {
+	case errors.Is(err, chaos.ErrUnknownKind):
+		return apiErrf(http.StatusBadRequest, "unknown_fault_kind", "%v", err)
+	case errors.Is(err, chaos.ErrBadFault):
+		return apiErrf(http.StatusBadRequest, "bad_fault", "%v", err)
+	case errors.Is(err, cloudsim.ErrNoSuchAZ):
+		return apiErrf(http.StatusNotFound, "unknown_az", "%v", err)
+	default:
+		return errFromExec(err)
+	}
 }
 
-func (s *Server) handleInjectFaults(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInjectFaults(ctx context.Context, r *apiReq) (any, *apiError) {
 	var req injectFaultsReq
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+	if e := r.decode(&req); e != nil {
+		return nil, e
 	}
 	if (req.Scenario == "") == (req.Fault == nil) {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("provide exactly one of scenario or fault"))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "bad_request",
+			"provide exactly one of scenario or fault")
 	}
 	var sc chaos.Scenario
 	if req.Scenario != "" {
 		var ok bool
 		sc, ok = chaos.ScenarioByName(req.Scenario, req.AZ)
 		if !ok {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scenario %q (valid: %s)",
-				req.Scenario, strings.Join(chaos.ScenarioNames(), ", ")))
-			return
+			return nil, apiErrf(http.StatusBadRequest, "unknown_scenario",
+				"unknown scenario %q (valid: %s)", req.Scenario, strings.Join(chaos.ScenarioNames(), ", "))
 		}
 	} else {
 		sc = chaos.Scenario{Name: "adhoc", Faults: []chaos.Fault{req.Fault.fault()}}
@@ -111,18 +116,13 @@ func (s *Server) handleInjectFaults(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if err != nil {
-		code := http.StatusBadGateway
-		if badFault(err) {
-			code = http.StatusBadRequest
-		}
-		writeErr(w, code, err)
-		return
+		return nil, faultErr(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ids": ids})
+	return map[string]any{"ids": ids}, nil
 }
 
-func (s *Server) handleListFaults(w http.ResponseWriter, r *http.Request) {
-	var out []faultStatusJS
+func (s *Server) handleListFaults(ctx context.Context, r *apiReq) (any, *apiError) {
+	out := []faultStatusJS{}
 	err := s.Exec(func(*sim.Proc) error {
 		for _, st := range s.rt.Chaos().Faults() {
 			out = append(out, statusJS(st))
@@ -130,11 +130,7 @@ func (s *Server) handleListFaults(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+		return nil, errFromExec(err)
 	}
-	if out == nil {
-		out = []faultStatusJS{}
-	}
-	writeJSON(w, http.StatusOK, out)
+	return out, nil
 }

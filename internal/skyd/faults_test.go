@@ -69,29 +69,34 @@ func TestInjectScenario(t *testing.T) {
 func TestInjectFaultValidation(t *testing.T) {
 	s := newTestServer(t)
 	cases := []struct {
-		name string
-		body map[string]any
+		name   string
+		body   map[string]any
+		status int
+		code   string
 	}{
-		{"neither scenario nor fault", map[string]any{}},
+		{"neither scenario nor fault", map[string]any{},
+			http.StatusBadRequest, "bad_request"},
 		{"both scenario and fault", map[string]any{
 			"scenario": "degraded", "az": "t1-fast",
 			"fault": map[string]any{"kind": "outage", "az": "t1-fast", "durationMS": 1000},
-		}},
-		{"unknown scenario", map[string]any{"scenario": "volcano", "az": "t1-fast"}},
+		}, http.StatusBadRequest, "bad_request"},
+		{"unknown scenario", map[string]any{"scenario": "volcano", "az": "t1-fast"},
+			http.StatusBadRequest, "unknown_scenario"},
 		{"unknown kind", map[string]any{
 			"fault": map[string]any{"kind": "meteor", "az": "t1-fast", "durationMS": 1000},
-		}},
+		}, http.StatusBadRequest, "unknown_fault_kind"},
 		{"missing duration", map[string]any{
 			"fault": map[string]any{"kind": "outage", "az": "t1-fast"},
-		}},
+		}, http.StatusBadRequest, "bad_fault"},
+		// An unknown zone is an addressing error, distinct from a malformed
+		// fault.
 		{"ghost az", map[string]any{
 			"fault": map[string]any{"kind": "outage", "az": "ghost", "durationMS": 1000},
-		}},
+		}, http.StatusNotFound, "unknown_az"},
 	}
 	for _, tc := range cases {
-		if res, body := do(t, s, "POST", "/v1/faults", tc.body); res.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s -> status %d: %s", tc.name, res.StatusCode, body)
-		}
+		res, body := do(t, s, "POST", "/v1/faults", tc.body)
+		wantErr(t, res, body, tc.status, tc.code)
 	}
 	// Nothing armed by the rejected requests.
 	res, body := do(t, s, "GET", "/v1/faults", nil)

@@ -1,6 +1,7 @@
 package skyd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -8,8 +9,10 @@ import (
 
 	"skyfaas/internal/admission"
 	"skyfaas/internal/charact"
+	"skyfaas/internal/cloudsim"
 	"skyfaas/internal/router"
 	"skyfaas/internal/sim"
+	"skyfaas/internal/tenant"
 	"skyfaas/internal/workload"
 )
 
@@ -18,22 +21,12 @@ import (
 // endpoints marshal their answers from within a command.
 
 func (s *Server) routes() {
-	s.handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
-	s.handle("GET /v1/zones", "/v1/zones", s.handleZones)
-	s.handle("GET /v1/characterizations", "/v1/characterizations", s.handleCharacterizations)
-	s.handle("POST /v1/characterize", "/v1/characterize", s.handleCharacterize)
-	s.handle("POST /v1/profile", "/v1/profile", s.handleProfile)
-	s.handle("GET /v1/perf", "/v1/perf", s.handlePerf)
-	s.handle("POST /v1/burst", "/v1/burst", s.handleBurst)
-	s.handle("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
-	s.handle("POST /v1/faults", "/v1/faults", s.handleInjectFaults)
-	s.handle("GET /v1/faults", "/v1/faults", s.handleListFaults)
-	s.handle("GET /v1/refresh", "/v1/refresh", s.handleRefreshStatus)
-	s.handle("POST /v1/refresh", "/v1/refresh", s.handleRefreshControl)
-	s.handle("GET /v1/admission", "/v1/admission", s.handleAdmissionStatus)
-	s.handle("POST /v1/admission", "/v1/admission", s.handleAdmissionControl)
-	// Observability endpoints are deliberately uninstrumented: scrapes must
-	// stay readable without perturbing the numbers they report.
+	for _, def := range apiRouteDefs() {
+		s.mount(def)
+	}
+	// Observability endpoints are deliberately uninstrumented (and never
+	// authenticated): scrapes must stay readable without perturbing the
+	// numbers they report, and a monitor must not need a tenant key.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
@@ -82,20 +75,19 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.WriteJSON(w)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(ctx context.Context, r *apiReq) (any, *apiError) {
 	var now time.Time
 	err := s.Exec(func(p *sim.Proc) error {
 		now = p.Env().Now()
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"status":      "ok",
 		"virtualTime": now,
-	})
+	}, nil
 }
 
 type zoneJS struct {
@@ -104,7 +96,7 @@ type zoneJS struct {
 	Provider string `json:"provider"`
 }
 
-func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleZones(ctx context.Context, r *apiReq) (any, *apiError) {
 	var zones []zoneJS
 	err := s.Exec(func(p *sim.Proc) error {
 		for _, region := range s.rt.Cloud().Regions() {
@@ -119,10 +111,9 @@ func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"zones": zones})
+	return map[string]any{"zones": zones}, nil
 }
 
 type characterizationJS struct {
@@ -145,7 +136,7 @@ func charToJS(ch charact.Characterization) characterizationJS {
 	}
 }
 
-func (s *Server) handleCharacterizations(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCharacterizations(ctx context.Context, r *apiReq) (any, *apiError) {
 	var out []characterizationJS
 	err := s.Exec(func(p *sim.Proc) error {
 		store := s.rt.Store()
@@ -158,10 +149,9 @@ func (s *Server) handleCharacterizations(w http.ResponseWriter, r *http.Request)
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"characterizations": out})
+	return map[string]any{"characterizations": out}, nil
 }
 
 type characterizeReq struct {
@@ -169,19 +159,21 @@ type characterizeReq struct {
 	Polls int    `json:"polls"`
 }
 
-func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCharacterize(ctx context.Context, r *apiReq) (any, *apiError) {
 	var req characterizeReq
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+	if e := r.decode(&req); e != nil {
+		return nil, e
 	}
 	if req.Polls <= 0 {
 		req.Polls = 6
 	}
 	var ch charact.Characterization
 	err := s.Exec(func(p *sim.Proc) error {
+		// Address the zone before spending anything: an unknown AZ is the
+		// caller's error (404 unknown_az via errFromExec), not a gateway
+		// failure of the simulated cloud.
 		if _, ok := s.rt.Cloud().AZ(req.AZ); !ok {
-			return fmt.Errorf("unknown AZ %q", req.AZ)
+			return fmt.Errorf("%w: %q", cloudsim.ErrNoSuchAZ, req.AZ)
 		}
 		if err := s.rt.EnsureSamplerEndpoints(req.AZ); err != nil {
 			return err
@@ -195,10 +187,9 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, charToJS(ch))
+	return charToJS(ch), nil
 }
 
 type profileReq struct {
@@ -207,46 +198,48 @@ type profileReq struct {
 	Runs     int      `json:"runs"`
 }
 
-func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleProfile(ctx context.Context, r *apiReq) (any, *apiError) {
 	var req profileReq
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+	if e := r.decode(&req); e != nil {
+		return nil, e
 	}
 	spec, ok := workload.ByName(req.Workload)
 	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "unknown_workload", "unknown workload %q", req.Workload)
 	}
 	if req.Runs <= 0 {
 		req.Runs = 300
 	}
 	if len(req.Zones) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("no zones given"))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "bad_request", "no zones given")
 	}
 	var cost float64
 	err := s.Exec(func(p *sim.Proc) error {
+		// Pre-validate the zone list: the router reports unknown zones as a
+		// generic mesh failure, which would masquerade as a 502.
+		for _, az := range req.Zones {
+			if _, ok := s.rt.Cloud().AZ(az); !ok {
+				return fmt.Errorf("%w: %q", cloudsim.ErrNoSuchAZ, az)
+			}
+		}
 		c, err := s.rt.ProfileWorkloads(p, []workload.ID{spec.ID}, req.Zones, req.Runs)
 		cost = c
 		return err
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"workload": spec.Name,
 		"costUSD":  cost,
-	})
+	}, nil
 }
 
-func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("workload")
+func (s *Server) handlePerf(ctx context.Context, r *apiReq) (any, *apiError) {
+	name := r.http.URL.Query().Get("workload")
 	spec, ok := workload.ByName(name)
 	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", name))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "unknown_workload", "unknown workload %q", name)
 	}
 	type kindJS struct {
 		CPU     string  `json:"cpu"`
@@ -265,13 +258,12 @@ func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"workload": spec.Name,
 		"kinds":    kinds,
-	})
+	}, nil
 }
 
 type burstReq struct {
@@ -298,16 +290,14 @@ type burstJS struct {
 	PerCPU    map[string]int `json:"perCPU"`
 }
 
-func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBurst(ctx context.Context, r *apiReq) (any, *apiError) {
 	var req burstReq
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+	if e := r.decode(&req); e != nil {
+		return nil, e
 	}
 	spec, ok := workload.ByName(req.Workload)
 	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "unknown_workload", "unknown workload %q", req.Workload)
 	}
 	if req.Strategy == "" {
 		req.Strategy = "hybrid"
@@ -318,11 +308,22 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 		router.WithPricer(router.NewZonePricer(s.rt.Cloud())),
 	)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		code := "bad_request"
+		if errors.Is(err, router.ErrUnknownStrategy) {
+			code = "unknown_strategy"
+		}
+		return nil, apiErrf(http.StatusBadRequest, code, "%v", err)
 	}
 	if req.N <= 0 {
 		req.N = 100
+	}
+	// Tenant governors run before the global gate: a tenant over its own
+	// quota or budget sheds here without consuming global admission
+	// capacity, which is what keeps one tenant's storm from starving the
+	// rest (EX-10).
+	lease, e := s.acquireTenant(r, req.N)
+	if e != nil {
+		return nil, e
 	}
 	// Overload control: the burst must clear the admission gate before it
 	// reaches the simulation — one slot per invocation, so a burst of N
@@ -332,13 +333,12 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 	if gate := s.gate; gate != nil {
 		tk, admitErr := gate.Admit(time.Now(), spec.ID, req.N)
 		if admitErr != nil {
+			s.tenants.Release(lease, time.Now(), 0)
 			var shed *admission.ShedError
 			if errors.As(admitErr, &shed) {
-				writeShed(w, spec.Name, shed)
-				return
+				return nil, shedToAPIError(spec.Name, shed)
 			}
-			writeErr(w, http.StatusInternalServerError, admitErr)
-			return
+			return nil, apiErrf(http.StatusInternalServerError, "internal", "%v", admitErr)
 		}
 		ticket = tk
 		// Batched routing under pressure: reuse the last good placement for
@@ -351,6 +351,16 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 	}
 	var res router.BurstResult
 	err = s.Exec(func(p *sim.Proc) error {
+		// Explicitly addressed zones are validated up front: a typo'd AZ or
+		// candidate is the caller's 404, not an upstream 502.
+		for _, az := range append([]string{req.AZ}, req.Candidates...) {
+			if az == "" {
+				continue
+			}
+			if _, ok := s.rt.Cloud().AZ(az); !ok {
+				return fmt.Errorf("%w: %q", cloudsim.ErrNoSuchAZ, az)
+			}
+		}
 		got, err := s.rt.Run(p, router.BurstSpec{
 			Strategy:   strat,
 			Workload:   spec.ID,
@@ -368,15 +378,16 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 			gate.RememberRoute(spec.ID, res.AZ, time.Now())
 		}
 	}
+	// The tenant is billed what the burst actually cost, successful or not.
+	s.tenants.Release(lease, time.Now(), res.CostUSD)
 	if err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+		return nil, errFromExec(err)
 	}
 	perCPU := make(map[string]int, len(res.PerCPU))
 	for k, n := range res.PerCPU {
 		perCPU[k.String()] = n
 	}
-	writeJSON(w, http.StatusOK, burstJS{
+	return burstJS{
 		Strategy:  res.Strategy,
 		Workload:  res.Workload.String(),
 		AZ:        res.AZ,
@@ -389,10 +400,44 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 		CostUSD:   res.CostUSD,
 		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
 		PerCPU:    perCPU,
-	})
+	}, nil
 }
 
-func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+// acquireTenant runs the per-tenant quota and budget governors for an
+// N-invocation burst. Auth-off mode (no registry, acct nil) admits freely
+// with a zero lease.
+func (s *Server) acquireTenant(r *apiReq, n int) (tenant.Lease, *apiError) {
+	if s.tenants == nil || r.acct == nil {
+		return tenant.Lease{}, nil
+	}
+	lease, err := s.tenants.Acquire(r.acct.ID, n, time.Now())
+	if err == nil {
+		return lease, nil
+	}
+	var le *tenant.LimitError
+	if errors.As(err, &le) {
+		return tenant.Lease{}, limitToAPIError(le)
+	}
+	// The account vanished between authorize and here (concurrent DELETE).
+	return tenant.Lease{}, apiErrf(http.StatusForbidden, "bad_key", "%v", err)
+}
+
+// limitToAPIError converts a per-tenant governor rejection into the
+// envelope: 429, code = the shed reason, detail = the tenant's load/budget
+// picture.
+func limitToAPIError(le *tenant.LimitError) *apiError {
+	e := apiErrf(http.StatusTooManyRequests, string(le.Reason), "%v", le)
+	e.retryAfter = le.RetryAfter
+	e.detail = map[string]any{
+		"tenant":     le.Tenant,
+		"inflight":   le.Inflight,
+		"quotaSlots": le.QuotaSlots,
+		"balanceUSD": le.BalanceUSD,
+	}
+	return e
+}
+
+func (s *Server) handleWorkloads(ctx context.Context, r *apiReq) (any, *apiError) {
 	type wlJS struct {
 		Name        string  `json:"name"`
 		VCPUs       float64 `json:"vcpus"`
@@ -402,5 +447,5 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	for _, spec := range workload.All() {
 		out = append(out, wlJS{Name: spec.Name, VCPUs: spec.VCPUs, Description: spec.Description})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+	return map[string]any{"workloads": out}, nil
 }

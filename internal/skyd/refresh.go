@@ -1,6 +1,7 @@
 package skyd
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -102,13 +103,15 @@ type refreshReq struct {
 
 // errRefreshDisabled answers both endpoints when the server was built
 // without a refresh configuration.
-var errRefreshDisabled = fmt.Errorf("refresh maintenance not enabled (start skyd with a refresh config)")
+func errRefreshDisabled() *apiError {
+	return apiErrf(http.StatusConflict, "refresh_disabled",
+		"refresh maintenance not enabled (start skyd with a refresh config)")
+}
 
-func (s *Server) handleRefreshStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRefreshStatus(ctx context.Context, r *apiReq) (any, *apiError) {
 	m := s.refresher
 	if m == nil {
-		writeErr(w, http.StatusConflict, errRefreshDisabled)
-		return
+		return nil, errRefreshDisabled()
 	}
 	var st refresh.Status
 	err := s.Exec(func(*sim.Proc) error {
@@ -116,41 +119,35 @@ func (s *Server) handleRefreshStatus(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, refreshStatus(st, m.Running()))
+	return refreshStatus(st, m.Running()), nil
 }
 
-func (s *Server) handleRefreshControl(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRefreshControl(ctx context.Context, r *apiReq) (any, *apiError) {
 	m := s.refresher
 	if m == nil {
-		writeErr(w, http.StatusConflict, errRefreshDisabled)
-		return
+		return nil, errRefreshDisabled()
 	}
 	var req refreshReq
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+	if e := r.decode(&req); e != nil {
+		return nil, e
 	}
 	if req.Mode == "" && req.Budget == nil && req.AZ == "" {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("provide at least one of mode, budget, az"))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "bad_request",
+			"provide at least one of mode, budget, az")
 	}
 	if req.Mode != "" && !refresh.ValidMode(refresh.Mode(req.Mode)) {
 		names := make([]string, 0, 3)
 		for _, k := range refresh.Modes() {
 			names = append(names, string(k))
 		}
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (valid: %s)",
-			req.Mode, strings.Join(names, ", ")))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "unknown_mode",
+			"unknown mode %q (valid: %s)", req.Mode, strings.Join(names, ", "))
 	}
 	if req.Budget != nil && (req.Budget.RatePerHour < 0 || req.Budget.CapUSD <= 0) {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("budget rate must be >= 0 and cap > 0"))
-		return
+		return nil, apiErrf(http.StatusBadRequest, "bad_budget",
+			"budget rate must be >= 0 and cap > 0")
 	}
 	var st refresh.Status
 	err := s.Exec(func(p *sim.Proc) error {
@@ -173,8 +170,7 @@ func (s *Server) handleRefreshControl(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadGateway, err)
-		return
+		return nil, errFromExec(err)
 	}
-	writeJSON(w, http.StatusOK, refreshStatus(st, m.Running()))
+	return refreshStatus(st, m.Running()), nil
 }

@@ -57,12 +57,10 @@ func newRefreshServer(t *testing.T, mode refresh.Mode) *Server {
 
 func TestRefreshDisabledAnswers409(t *testing.T) {
 	s := newTestServer(t)
-	if res, _ := do(t, s, "GET", "/v1/refresh", nil); res.StatusCode != http.StatusConflict {
-		t.Fatalf("GET status = %d, want 409 when refresh is disabled", res.StatusCode)
-	}
-	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{"mode": "age"}); res.StatusCode != http.StatusConflict {
-		t.Fatalf("POST status = %d, want 409 when refresh is disabled", res.StatusCode)
-	}
+	res, body := do(t, s, "GET", "/v1/refresh", nil)
+	wantErr(t, res, body, http.StatusConflict, "refresh_disabled")
+	res, body = do(t, s, "POST", "/v1/refresh", map[string]any{"mode": "age"})
+	wantErr(t, res, body, http.StatusConflict, "refresh_disabled")
 }
 
 func TestRefreshStatusAndControl(t *testing.T) {
@@ -117,15 +115,12 @@ func TestRefreshStatusAndControl(t *testing.T) {
 
 func TestRefreshControlValidation(t *testing.T) {
 	s := newRefreshServer(t, refresh.ModeOff)
-	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{}); res.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty request status = %d, want 400", res.StatusCode)
-	}
-	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{"mode": "sometimes"}); res.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad mode status = %d, want 400", res.StatusCode)
-	}
-	if res, _ := do(t, s, "POST", "/v1/refresh", map[string]any{"budget": map[string]any{"ratePerHour": 1.0}}); res.StatusCode != http.StatusBadRequest {
-		t.Fatalf("zero cap status = %d, want 400", res.StatusCode)
-	}
+	res, body := do(t, s, "POST", "/v1/refresh", map[string]any{})
+	wantErr(t, res, body, http.StatusBadRequest, "bad_request")
+	res, body = do(t, s, "POST", "/v1/refresh", map[string]any{"mode": "sometimes"})
+	wantErr(t, res, body, http.StatusBadRequest, "unknown_mode")
+	res, body = do(t, s, "POST", "/v1/refresh", map[string]any{"budget": map[string]any{"ratePerHour": 1.0}})
+	wantErr(t, res, body, http.StatusBadRequest, "bad_budget")
 }
 
 // TestRefreshLoopCloseRaces arms an age-mode loop that is actively ticking

@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
@@ -25,6 +24,7 @@ import (
 	"skyfaas/internal/metrics"
 	"skyfaas/internal/refresh"
 	"skyfaas/internal/sim"
+	"skyfaas/internal/tenant"
 )
 
 // ErrClosed is returned for commands submitted after Close.
@@ -59,6 +59,13 @@ type Config struct {
 	// leaves the endpoints answering 409 (unless the runtime already
 	// carries a controller, which the server adopts).
 	Admission *admission.Config
+	// Tenants, when non-nil, turns authentication on: every /v1 endpoint
+	// except /v1/healthz requires an API key resolving to a registered
+	// tenant, per-tenant quota/budget governors run in front of the global
+	// admission gate, and the /v1/tenants surface administers the registry.
+	// Nil is auth-off mode — the full surface stays open and untenanted,
+	// preserving zero-config behavior.
+	Tenants *tenant.Registry
 }
 
 // Server bridges HTTP onto a paced simulation.
@@ -79,6 +86,10 @@ type Server struct {
 	// admission is disabled). It needs no lifecycle management: it holds no
 	// events, only mutex-guarded state.
 	gate *admission.Controller
+
+	// tenants is the account registry (nil in auth-off mode). Like the
+	// gate it is mutex-guarded state with no lifecycle of its own.
+	tenants *tenant.Registry
 
 	mux  *http.ServeMux
 	cmds chan func(p *sim.Proc)
@@ -118,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 		cmds:          make(chan func(p *sim.Proc), 64),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
+		tenants:       cfg.Tenants,
 	}
 	s.queueDepth = s.metrics.Gauge("sky_skyd_cmd_queue_depth",
 		"commands enqueued for the simulation goroutine but not yet started")
@@ -255,55 +267,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // warm state finish in well under a millisecond of wall time.
 var httpBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
-// statusWriter captures the status code a handler wrote.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// handle registers a handler with per-endpoint instrumentation: a request
-// counter labeled by path and status code, and a wall-time latency
-// histogram labeled by path.
-func (s *Server) handle(pattern, path string, h http.HandlerFunc) {
-	hist := s.metrics.Histogram("sky_skyd_http_request_ms",
-		"wall-time handler latency (milliseconds)", httpBuckets, metrics.L("path", path))
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		hist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-		s.metrics.Counter("sky_skyd_http_requests_total",
-			"requests served, by endpoint and status code",
-			metrics.L("path", path), metrics.L("code", strconv.Itoa(sw.code))).Inc()
-	})
-}
-
-type apiError struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
-}
-
-func readJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
-	}
-	return nil
 }

@@ -3,8 +3,10 @@ package skyd
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -50,6 +52,12 @@ func newTestServer(t *testing.T) *Server {
 
 func do(t *testing.T, s *Server, method, path string, body any) (*http.Response, []byte) {
 	t.Helper()
+	return doKey(t, s, method, path, body, "")
+}
+
+// doKey is do with an API key attached as a bearer token.
+func doKey(t *testing.T, s *Server, method, path string, body any, key string) (*http.Response, []byte) {
+	t.Helper()
 	var reqBody *bytes.Buffer = bytes.NewBuffer(nil)
 	if body != nil {
 		if err := json.NewEncoder(reqBody).Encode(body); err != nil {
@@ -57,6 +65,9 @@ func do(t *testing.T, s *Server, method, path string, body any) (*http.Response,
 		}
 	}
 	req := httptest.NewRequest(method, path, reqBody)
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	res := rec.Result()
@@ -66,6 +77,57 @@ func do(t *testing.T, s *Server, method, path string, body any) (*http.Response,
 		t.Fatal(err)
 	}
 	return res, buf.Bytes()
+}
+
+// envelope mirrors the documented error body for assertions.
+type envelope struct {
+	Error struct {
+		Code         string          `json:"code"`
+		Message      string          `json:"message"`
+		RetryAfterMS float64         `json:"retryAfterMS"`
+		Detail       json.RawMessage `json:"detail"`
+	} `json:"error"`
+}
+
+// wantErr asserts the response is status with the typed envelope: the
+// expected code, a non-empty message, and — on sheds carrying a retry hint
+// — a Retry-After header that agrees with retryAfterMS (whole seconds,
+// rounded up). It returns the envelope for detail assertions.
+func wantErr(t *testing.T, res *http.Response, body []byte, status int, code string) envelope {
+	t.Helper()
+	if res.StatusCode != status {
+		t.Fatalf("status %d, want %d: %s", res.StatusCode, status, body)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("not an envelope: %v: %s", err, body)
+	}
+	if env.Error.Code != code {
+		t.Fatalf("error code %q, want %q: %s", env.Error.Code, code, body)
+	}
+	if env.Error.Message == "" {
+		t.Fatalf("empty error message: %s", body)
+	}
+	header := res.Header.Get("Retry-After")
+	if env.Error.RetryAfterMS > 0 {
+		if header == "" {
+			t.Fatalf("retryAfterMS %v without Retry-After header", env.Error.RetryAfterMS)
+		}
+		secs, err := strconv.Atoi(header)
+		if err != nil {
+			t.Fatalf("Retry-After %q not whole seconds", header)
+		}
+		want := int(math.Ceil(env.Error.RetryAfterMS / 1000))
+		if want < 1 {
+			want = 1
+		}
+		if secs != want {
+			t.Fatalf("Retry-After %ds disagrees with retryAfterMS %v", secs, env.Error.RetryAfterMS)
+		}
+	} else if header != "" {
+		t.Fatalf("Retry-After %q on a response without a retry hint", header)
+	}
+	return env
 }
 
 func TestHealthz(t *testing.T) {
@@ -143,15 +205,17 @@ func TestCharacterizeFlow(t *testing.T) {
 
 func TestCharacterizeValidation(t *testing.T) {
 	s := newTestServer(t)
-	if res, _ := do(t, s, "POST", "/v1/characterize", map[string]any{"az": "ghost"}); res.StatusCode != http.StatusBadGateway {
-		t.Fatalf("unknown AZ status %d", res.StatusCode)
-	}
+	// An unknown AZ is the caller's addressing error, not a gateway
+	// failure.
+	res, body := do(t, s, "POST", "/v1/characterize", map[string]any{"az": "ghost"})
+	wantErr(t, res, body, http.StatusNotFound, "unknown_az")
+
 	req := httptest.NewRequest("POST", "/v1/characterize", bytes.NewBufferString("{bad"))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad JSON status %d", rec.Code)
-	}
+	badRes := rec.Result()
+	defer badRes.Body.Close()
+	wantErr(t, badRes, rec.Body.Bytes(), http.StatusBadRequest, "bad_request")
 }
 
 func TestProfileThenPerfThenBurst(t *testing.T) {
@@ -213,16 +277,53 @@ func TestProfileThenPerfThenBurst(t *testing.T) {
 
 func TestBurstValidation(t *testing.T) {
 	s := newTestServer(t)
-	cases := []map[string]any{
-		{"strategy": "warp", "workload": "zipper"},         // unknown strategy
-		{"strategy": "baseline", "workload": "zipper"},     // baseline without az
-		{"strategy": "hybrid", "workload": "quantum_sort"}, // unknown workload
+	cases := []struct {
+		req    map[string]any
+		status int
+		code   string
+	}{
+		{map[string]any{"strategy": "warp", "workload": "zipper"},
+			http.StatusBadRequest, "unknown_strategy"},
+		{map[string]any{"strategy": "baseline", "workload": "zipper"},
+			http.StatusBadRequest, "bad_request"}, // baseline without az
+		{map[string]any{"strategy": "hybrid", "workload": "quantum_sort"},
+			http.StatusBadRequest, "unknown_workload"},
+		{map[string]any{"strategy": "baseline", "az": "ghost", "workload": "zipper"},
+			http.StatusNotFound, "unknown_az"},
+		{map[string]any{"workload": "zipper", "candidates": []string{"t1-fast", "ghost"}},
+			http.StatusNotFound, "unknown_az"},
 	}
 	for _, c := range cases {
-		if res, body := do(t, s, "POST", "/v1/burst", c); res.StatusCode != http.StatusBadRequest {
-			t.Errorf("%v -> status %d: %s", c, res.StatusCode, body)
-		}
+		res, body := do(t, s, "POST", "/v1/burst", c.req)
+		wantErr(t, res, body, c.status, c.code)
 	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "POST", "/v1/profile", map[string]any{
+		"workload": "math_service", "zones": []string{"ghost"},
+	})
+	wantErr(t, res, body, http.StatusNotFound, "unknown_az")
+	res, body = do(t, s, "POST", "/v1/profile", map[string]any{
+		"workload": "quantum_sort", "zones": []string{"t1-fast"},
+	})
+	wantErr(t, res, body, http.StatusBadRequest, "unknown_workload")
+	res, body = do(t, s, "POST", "/v1/profile", map[string]any{"workload": "math_service"})
+	wantErr(t, res, body, http.StatusBadRequest, "bad_request")
+}
+
+func TestPerfValidation(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "GET", "/v1/perf?workload=quantum_sort", nil)
+	wantErr(t, res, body, http.StatusBadRequest, "unknown_workload")
+}
+
+func TestClosedServer503(t *testing.T) {
+	s := newTestServer(t)
+	s.Close()
+	res, body := do(t, s, "GET", "/v1/healthz", nil)
+	wantErr(t, res, body, http.StatusServiceUnavailable, "unavailable")
 }
 
 func TestWorkloadsEndpoint(t *testing.T) {

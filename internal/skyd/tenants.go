@@ -1,0 +1,107 @@
+package skyd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"skyfaas/internal/tenant"
+)
+
+// Tenant admin surface. POST/GET /v1/tenants and DELETE /v1/tenants/{id}
+// are the operator CRUD over the account registry;
+// GET /v1/tenants/{id}/usage serves the billing/load rollup (a tenant may
+// read its own, operators may read anyone's). The registry is
+// mutex-guarded, not simulation state, so none of these round-trip through
+// the command queue.
+
+// errTenantsDisabled answers the whole surface when the server runs
+// auth-off (no registry configured).
+func errTenantsDisabled() *apiError {
+	return apiErrf(http.StatusConflict, "tenants_disabled",
+		"tenant registry not enabled (start skyd with -tenants)")
+}
+
+// tenantJS is the public view of an account: keys are write-only and never
+// echoed back.
+type tenantJS struct {
+	ID            string  `json:"id"`
+	Name          string  `json:"name"`
+	Admin         bool    `json:"admin"`
+	NumKeys       int     `json:"numKeys"`
+	QuotaSlots    int     `json:"quotaSlots"`
+	BudgetPerHour float64 `json:"budgetPerHourUSD"`
+	BudgetCap     float64 `json:"budgetCapUSD"`
+}
+
+func tenantToJS(t tenant.Tenant) tenantJS {
+	return tenantJS{
+		ID:            t.ID,
+		Name:          t.Name,
+		Admin:         t.Admin,
+		NumKeys:       len(t.Keys),
+		QuotaSlots:    t.QuotaSlots,
+		BudgetPerHour: t.BudgetPerHour,
+		BudgetCap:     t.BudgetCap,
+	}
+}
+
+func (s *Server) handleListTenants(ctx context.Context, r *apiReq) (any, *apiError) {
+	if s.tenants == nil {
+		return nil, errTenantsDisabled()
+	}
+	out := make([]tenantJS, 0, s.tenants.Len())
+	for _, t := range s.tenants.List() {
+		out = append(out, tenantToJS(t))
+	}
+	return map[string]any{"tenants": out}, nil
+}
+
+func (s *Server) handleCreateTenant(ctx context.Context, r *apiReq) (any, *apiError) {
+	if s.tenants == nil {
+		return nil, errTenantsDisabled()
+	}
+	var req tenant.Tenant
+	if e := r.decode(&req); e != nil {
+		return nil, e
+	}
+	switch err := s.tenants.Create(req, time.Now()); {
+	case err == nil:
+		return tenantToJS(req), nil
+	case errors.Is(err, tenant.ErrExists):
+		return nil, apiErrf(http.StatusConflict, "tenant_exists", "%v", err)
+	case errors.Is(err, tenant.ErrDuplicateKey):
+		return nil, apiErrf(http.StatusConflict, "duplicate_key", "%v", err)
+	default:
+		return nil, apiErrf(http.StatusBadRequest, "bad_tenant", "%v", err)
+	}
+}
+
+func (s *Server) handleDeleteTenant(ctx context.Context, r *apiReq) (any, *apiError) {
+	if s.tenants == nil {
+		return nil, errTenantsDisabled()
+	}
+	id := r.http.PathValue("id")
+	if !s.tenants.Delete(id) {
+		return nil, apiErrf(http.StatusNotFound, "unknown_tenant", "no tenant %q", id)
+	}
+	return map[string]any{"deleted": id}, nil
+}
+
+func (s *Server) handleTenantUsage(ctx context.Context, r *apiReq) (any, *apiError) {
+	if s.tenants == nil {
+		return nil, errTenantsDisabled()
+	}
+	id := r.http.PathValue("id")
+	// Self-or-admin: a tenant's spend and shed history is its own business.
+	if r.acct != nil && !r.acct.Admin && r.acct.ID != id {
+		return nil, apiErrf(http.StatusForbidden, "forbidden",
+			"tenant %q may not read %q's usage", r.acct.ID, id)
+	}
+	u, ok := s.tenants.Usage(id, time.Now())
+	if !ok {
+		return nil, apiErrf(http.StatusNotFound, "unknown_tenant", "no tenant %q", id)
+	}
+	return u, nil
+}

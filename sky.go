@@ -42,6 +42,7 @@ import (
 	"skyfaas/internal/router"
 	"skyfaas/internal/sampler"
 	"skyfaas/internal/sim"
+	"skyfaas/internal/tenant"
 	"skyfaas/internal/workload"
 )
 
@@ -189,6 +190,34 @@ type (
 
 // ErrShed matches any ShedError via errors.Is.
 var ErrShed = admission.ErrShed
+
+// Multi-tenant accounts (API-key auth, per-tenant quotas and budgets).
+type (
+	// Tenant is one account: identity, API keys, and its concurrency quota
+	// and USD budget governors.
+	Tenant = tenant.Tenant
+	// TenantRegistry resolves keys to accounts and enforces per-tenant
+	// quotas/budgets ahead of the global admission gate.
+	TenantRegistry = tenant.Registry
+	// TenantConfig tunes a TenantRegistry.
+	TenantConfig = tenant.Config
+	// TenantLease is one admitted request's per-tenant accounting handle.
+	TenantLease = tenant.Lease
+	// TenantLimitError is the typed rejection a tenant over its quota or
+	// budget receives, carrying the Retry-After hint skyd surfaces as 429.
+	TenantLimitError = tenant.LimitError
+	// TenantUsage is one account's billing/usage rollup.
+	TenantUsage = tenant.Usage
+)
+
+// ErrTenantLimited matches any TenantLimitError via errors.Is.
+var ErrTenantLimited = tenant.ErrLimited
+
+// NewTenantRegistry builds an empty tenant registry.
+func NewTenantRegistry(cfg TenantConfig) *TenantRegistry { return tenant.NewRegistry(cfg) }
+
+// TenantFixture returns the built-in deterministic demo accounts.
+func TenantFixture() []Tenant { return tenant.Fixture() }
 
 // ParseLoadMix parses a "name=weight,name=weight" workload mix.
 func ParseLoadMix(s string) (LoadMix, error) { return load.ParseMix(s) }
