@@ -5,7 +5,7 @@ GO ?= go
 # Concurrency-sensitive packages that must stay race-clean. `make ci` and
 # .github/workflows/ci.yml run exactly the same targets; the
 # internal/ciparity test asserts the two lists cannot drift.
-RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/ ./internal/core/ ./internal/experiments/ ./internal/tenant/
+RACE_PKGS = ./internal/skyd/ ./internal/sim/ ./internal/metrics/ ./internal/cloudsim/ ./internal/router/ ./internal/chaos/ ./internal/faas/ ./internal/refresh/ ./internal/trace/ ./internal/admission/ ./internal/load/ ./internal/core/ ./internal/experiments/ ./internal/tenant/ ./internal/warmpool/
 
 # Benchmark selection for `make bench` (regexp, per `go test -bench`).
 # Example: make bench BENCH_PATTERN='RouteHotPath|ShardedMesh'
@@ -13,14 +13,14 @@ BENCH_PATTERN ?= .
 
 # The benchmark-regression gate's subjects and baselines (see cmd/benchcheck
 # and the README "Performance" section).
-BENCH_GATE_PATTERN = BenchmarkRouteHotPath$$|BenchmarkShardedMesh$$|BenchmarkSkylintModule$$
-BENCH_BASELINES = -baseline BENCH_route.json -baseline BENCH_mesh.json
+BENCH_GATE_PATTERN = BenchmarkRouteHotPath$$|BenchmarkShardedMesh$$|BenchmarkSkylintModule$$|BenchmarkWarmPoolTick$$
+BENCH_BASELINES = -baseline BENCH_route.json -baseline BENCH_mesh.json -baseline BENCH_warmpool.json
 
-.PHONY: all build vet fmt-check lint lint-fixtures test race ci smoke-ex6 smoke-ex7 smoke-ex8 smoke-ex10 bench bench-check bench-baseline reproduce serve clean
+.PHONY: all build vet fmt-check lint lint-fixtures test race ci smoke-ex6 smoke-ex7 smoke-ex8 smoke-ex10 smoke-ex11 bench bench-check bench-baseline reproduce serve clean
 
 all: build vet lint test
 
-ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7 smoke-ex8 smoke-ex10 bench-check
+ci: build vet fmt-check lint test race smoke-ex6 smoke-ex7 smoke-ex8 smoke-ex10 smoke-ex11 bench-check
 
 # One reduced EX-6 pass: proves the chaos layer, resilient routing, and the
 # strategy registry compose end to end outside the test harness.
@@ -43,6 +43,12 @@ smoke-ex8:
 # test harness.
 smoke-ex10:
 	$(GO) run ./cmd/skybench -ex ex10 -scale reduced
+
+# One reduced EX-11 pass: proves the warm-pool forecaster, the budget
+# governor, and the pre-warm actuator compose end to end outside the test
+# harness.
+smoke-ex11:
+	$(GO) run ./cmd/skybench -ex ex11 -scale reduced
 
 build:
 	$(GO) build ./...
@@ -84,13 +90,13 @@ bench:
 # (±25% drift tolerance; 0 allocs/op baselines are exact). The bench output
 # is kept in a file so a go test failure isn't masked by the pipe.
 bench-check:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime 3x -benchmem . ./internal/router/ > bench_check_output.txt || (cat bench_check_output.txt; exit 1)
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime 3x -benchmem . ./internal/router/ ./internal/warmpool/ > bench_check_output.txt || (cat bench_check_output.txt; exit 1)
 	$(GO) run ./cmd/benchcheck $(BENCH_BASELINES) bench_check_output.txt
 
 # Refresh the gate baselines in place (run on the benchmark machine after a
 # deliberate performance change; review the diff like any other).
 bench-baseline:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime 3x -benchmem . ./internal/router/ > bench_check_output.txt || (cat bench_check_output.txt; exit 1)
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime 3x -benchmem . ./internal/router/ ./internal/warmpool/ > bench_check_output.txt || (cat bench_check_output.txt; exit 1)
 	$(GO) run ./cmd/benchcheck -update $(BENCH_BASELINES) bench_check_output.txt
 
 # Regenerate every paper table/figure at full scale (writes data/*.csv).

@@ -183,6 +183,17 @@ func registry() []experiment {
 			res, err := experiments.RunEX10(cfg)
 			return renderCSV(o, res, err)
 		}},
+		{"ex11", func(o benchOpts) (string, error) {
+			cfg := experiments.EX11Config{Seed: o.seed}
+			if o.profileRuns > 0 {
+				cfg.ProfileRuns = o.profileRuns
+			}
+			if o.reduced {
+				cfg = cfg.Reduced()
+			}
+			res, err := experiments.RunEX11(cfg)
+			return renderCSV(o, res, err)
+		}},
 	}
 }
 

@@ -11,6 +11,13 @@
 //	curl localhost:8080/metrics      # Prometheus text exposition
 //	curl localhost:8080/metrics.json # same snapshot as JSON
 //
+// With -warmpool, a budget-governed pre-warming loop keeps each zone's
+// warm pool sized to its forecast arrival rate:
+//
+//	skyd -addr :8080 -warmpool predictive &
+//	curl localhost:8080/v1/warmpool
+//	curl -XPOST localhost:8080/v1/warmpool -d '{"mode":"pinned","budget":{"ratePerHour":0.5,"capUSD":1}}'
+//
 // With -tenants, every /v1 endpoint requires an API key and tenant quotas
 // and budgets govern /v1/burst:
 //
@@ -37,6 +44,7 @@ import (
 	"skyfaas/internal/refresh"
 	"skyfaas/internal/skyd"
 	"skyfaas/internal/tenant"
+	"skyfaas/internal/warmpool"
 )
 
 // loadTenants builds the registry from the -tenants flag value: the literal
@@ -84,6 +92,9 @@ func run(args []string) error {
 	refreshMode := fs.String("refresh", "", "characterization maintenance mode: off, age, or drift (empty = disabled)")
 	refreshRate := fs.Float64("refresh-budget-rate", 0, "refresh budget refill, USD per virtual hour (0 = default)")
 	refreshCap := fs.Float64("refresh-budget-cap", 0, "refresh budget ceiling, USD (0 = default)")
+	warmMode := fs.String("warmpool", "", "warm-pool policy: off, pinned, reactive, or predictive (empty = disabled)")
+	warmRate := fs.Float64("warmpool-budget-rate", 0, "warm-pool budget refill, USD per virtual hour (0 = default)")
+	warmCap := fs.Float64("warmpool-budget-cap", 0, "warm-pool budget ceiling, USD (0 = default)")
 	admit := fs.Bool("admission", false, "enable the overload-control gate (sheds with 429 past estimated capacity)")
 	admitSlots := fs.Int("admission-slots", 0, "admission slot count (0 = platform quota minus headroom)")
 	admitUtil := fs.Float64("admission-target-util", 0, "admitted-concurrency ceiling as a fraction of slots (0 = default 0.9)")
@@ -105,6 +116,16 @@ func run(args []string) error {
 			Mode:        refresh.Mode(*refreshMode),
 			RatePerHour: *refreshRate,
 			Cap:         *refreshCap,
+		}
+	}
+	if *warmMode != "" {
+		if !warmpool.ValidMode(warmpool.Mode(*warmMode)) {
+			return fmt.Errorf("unknown warm-pool mode %q (valid: %v)", *warmMode, warmpool.Modes())
+		}
+		skydCfg.WarmPool = &warmpool.Config{
+			Mode:        warmpool.Mode(*warmMode),
+			RatePerHour: *warmRate,
+			Cap:         *warmCap,
 		}
 	}
 	if *admit {

@@ -377,6 +377,15 @@ func (c *Controller) CapacityRPS(w workload.ID) float64 {
 	return c.cfg.TargetUtil * float64(c.cfg.Slots) * 1000 / st.serviceMS
 }
 
+// ServiceMS returns the gate's current mean service-time estimate for w in
+// milliseconds — seeded from characterizations, EWMA-updated from observed
+// completions. The warm-pool sizer turns it into instance counts.
+func (c *Controller) ServiceMS(w workload.ID) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fn(w).serviceMS
+}
+
 // RouteFor returns the pinned routing decision for w if one is cached,
 // fresh, and the controller is under pressure. The bool reports a usable
 // hit.

@@ -61,6 +61,33 @@ type Deployment struct {
 	dynamic  bool
 	codeHash string
 	warm     []*FI // idle instances, reused LIFO like real platforms
+	// floor is the warm-pool floor: keep-alive expiry holds this many idle
+	// instances alive instead of reaping them (see armExpiry). Set via
+	// AZ.SetWarmFloor; 0 restores pure keep-alive semantics.
+	floor int
+	// floorAccount / floorSince track who pays for floor-held capacity and
+	// since when. StartEnsureWarm settles the accrued hold charge on every
+	// actuation (see settleWarmHold); a floor set directly via SetWarmFloor
+	// with no ensure-warm actuation is never billed.
+	floorAccount string
+	floorSince   time.Time
+	// live counts this deployment's provisioned instances (busy, idle, and
+	// initializing) so the warm-pool sizer can compute provisioning deficits
+	// without scanning hosts.
+	live int
+}
+
+// warmIdle counts the deployment's idle warm instances. The warm slice
+// retains destroyed entries until acquireFI pops them, so a scan with
+// filtering is required.
+func (d *Deployment) warmIdle() int {
+	n := 0
+	for _, fi := range d.warm {
+		if !fi.destroyed && !fi.busy {
+			n++
+		}
+	}
+	return n
 }
 
 // Name returns the function name (unique within its AZ).
@@ -259,17 +286,24 @@ func (az *AZ) acquireFI(dep *Deployment) (*FI, bool, error) {
 		az.maybeScaleUp()
 		return nil, false, ErrSaturated
 	}
+	fi := az.provisionFI(dep, host)
+	return fi, true, nil
+}
+
+// provisionFI creates a new busy instance on host and updates the zone's and
+// deployment's live accounting. Shared by the cold-start path and PreWarm.
+func (az *AZ) provisionFI(dep *Deployment, host *Host) *FI {
 	host.used++
 	az.liveFIs++
+	dep.live++
 	az.m.liveFIs.Set(float64(az.liveFIs))
 	az.fiSeq++
-	fi := &FI{
+	return &FI{
 		id:   fmt.Sprintf("fi-%s-%d", az.spec.Name, az.fiSeq),
 		host: host,
 		dep:  dep,
 		busy: true,
 	}
-	return fi, true, nil
 }
 
 // placeHost picks the host for a new instance with power-of-k-choices
@@ -320,10 +354,24 @@ func (az *AZ) releaseFI(fi *FI) {
 	fi.busy = false
 	fi.uses++
 	fi.idleGen++
-	gen := fi.idleGen
 	fi.dep.warm = append(fi.dep.warm, fi)
+	az.armExpiry(fi)
+}
+
+// armExpiry schedules the keep-alive reaping of an idle instance, validated
+// by the idleGen captured now: any acquire before the timer fires bumps the
+// generation and voids it. An instance held by the deployment's warm-pool
+// floor is left alive *without* re-arming — it becomes timerless, so a
+// drained event queue can terminate; SetWarmFloor re-arms every idle
+// instance when the floor changes, which is what eventually reaps the
+// excess after a floor is lowered.
+func (az *AZ) armExpiry(fi *FI) {
+	gen := fi.idleGen
 	az.env.Schedule(az.cloud.opts.KeepAlive, func() {
 		if fi.destroyed || fi.busy || fi.idleGen != gen {
+			return
+		}
+		if fi.dep.floor > 0 && fi.dep.warmIdle() <= fi.dep.floor {
 			return
 		}
 		az.destroyFI(fi)
@@ -337,6 +385,7 @@ func (az *AZ) destroyFI(fi *FI) {
 	fi.destroyed = true
 	fi.host.used--
 	az.liveFIs--
+	fi.dep.live--
 	az.m.liveFIs.Set(float64(az.liveFIs))
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -102,6 +103,32 @@ func sumBuckets(buckets map[string]float64) float64 {
 	keys := make([]string, 0, len(buckets))
 	for k := range buckets {
 		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += buckets[k]
+	}
+	return sum
+}
+
+// TotalPrefix returns label's cumulative spend across buckets whose name
+// starts with prefix, summed in sorted order so the float result is
+// replay-stable. The cloud buckets warm-pool provisioning under
+// "warmpool/<region>", so TotalPrefix(account, "warmpool/") isolates that
+// spend from the same rollup Total reports in full.
+func (m *Meter) TotalPrefix(label, prefix string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buckets := m.byLabel[label]
+	if len(buckets) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	var sum float64

@@ -522,6 +522,7 @@ func (c *Cloud) process(cl call, sent time.Time, az *AZ) {
 		// low-memory deployments cold-start slower (this is why Fig. 3's
 		// smaller memory settings need longer sleeps for full coverage).
 		ms *= initMemoryFactor(dep.memoryMB)
+		az.m.coldStartMS.Observe(ms)
 		initDelay += time.Duration(ms * float64(time.Millisecond))
 	}
 

@@ -18,8 +18,10 @@ type azMetrics struct {
 	saturation    *metrics.Counter
 	faultOutage   *metrics.Counter
 	faultThrottle *metrics.Counter
+	preWarms      *metrics.Counter
 	liveFIs       *metrics.Gauge
 	billedMS      *metrics.Histogram
+	coldStartMS   *metrics.Histogram
 }
 
 func newAZMetrics(r *metrics.Registry, az string) azMetrics {
@@ -45,9 +47,13 @@ func newAZMetrics(r *metrics.Registry, az string) azMetrics {
 		faultThrottle: r.Counter("sky_cloudsim_chaos_rejections_total",
 			"requests rejected by an injected fault, by zone and fault type",
 			azL, metrics.L("fault", "throttle_storm")),
+		preWarms: r.Counter("sky_cloudsim_prewarms_total",
+			"instances provisioned by the warm-pool actuator", azL),
 		liveFIs: r.Gauge("sky_cloudsim_live_fis",
 			"currently provisioned function instances", azL),
 		billedMS: r.Histogram("sky_cloudsim_billed_ms",
 			"billed duration of completed invocations (milliseconds)", nil, azL),
+		coldStartMS: r.Histogram("sky_coldstart_ms",
+			"request-path cold-start initialization latency (milliseconds)", nil, azL),
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"skyfaas/internal/router"
 	"skyfaas/internal/sampler"
 	"skyfaas/internal/sim"
+	"skyfaas/internal/warmpool"
 	"skyfaas/internal/workload"
 )
 
@@ -100,6 +101,11 @@ type Runtime struct {
 	sampled   map[string]bool // zones with sampling endpoints deployed
 	refresher *refresh.Maintainer
 	gate      *admission.Controller
+	warmer    *warmpool.Maintainer
+	// trafficSinks fans the router's single traffic callback out to every
+	// subsystem observing routed completions (refresh urgency weighting,
+	// warm-pool forecasting).
+	trafficSinks []func(az string, completed int)
 }
 
 // New builds a Runtime (deploying the mesh unless cfg.SkipMesh).
@@ -278,13 +284,111 @@ func (rt *Runtime) EnableRefresh(cfg refresh.Config) (*refresh.Maintainer, error
 	if err != nil {
 		return nil, err
 	}
-	rt.router.UseTrafficSink(m.ObserveTraffic)
+	rt.addTrafficSink(m.ObserveTraffic)
 	rt.refresher = m
 	return m, nil
 }
 
 // Refresher returns the maintenance loop (nil until EnableRefresh).
 func (rt *Runtime) Refresher() *refresh.Maintainer { return rt.refresher }
+
+// addTrafficSink subscribes fn to the router's completed-traffic feed. The
+// router carries a single callback slot, so the first subscription installs
+// a fan-out closure over the runtime's sink list.
+func (rt *Runtime) addTrafficSink(fn func(az string, completed int)) {
+	rt.trafficSinks = append(rt.trafficSinks, fn)
+	if len(rt.trafficSinks) == 1 {
+		rt.router.UseTrafficSink(func(az string, completed int) {
+			for _, sink := range rt.trafficSinks {
+				sink(az, completed)
+			}
+		})
+	}
+}
+
+// runtimeActuator adapts the cloud's warm-pool actuator to the warmpool
+// policy surface: resolve the zone's mesh endpoint once, then drive
+// Cloud.StartEnsureWarm (which hops to the zone's shard and back) billing
+// the runtime's account.
+type runtimeActuator struct {
+	rt       *Runtime
+	memoryMB int
+	arch     cpu.Arch
+	byZone   map[string]string // az -> resolved function name
+}
+
+func (a *runtimeActuator) resolve(az string) (string, bool) {
+	if fn, ok := a.byZone[az]; ok {
+		return fn, fn != ""
+	}
+	fn := ""
+	if ep, ok := a.rt.mesh.Lookup(az, a.memoryMB, a.arch); ok {
+		fn = ep.Function
+	} else {
+		// Zones deployed at other memory settings (e.g. DO's 1 GB matrix):
+		// fall back to the zone's first endpoint of the right arch.
+		for _, ep := range a.rt.mesh.Endpoints() {
+			if ep.AZ == az && ep.Arch == a.arch {
+				fn = ep.Function
+				break
+			}
+		}
+	}
+	a.byZone[az] = fn
+	return fn, fn != ""
+}
+
+func (a *runtimeActuator) EnsureWarm(az string, target, floor int, done func(warmpool.Provision)) {
+	fn, ok := a.resolve(az)
+	if !ok {
+		a.rt.env.Schedule(0, func() {
+			done(warmpool.Provision{Err: fmt.Errorf("core: no mesh endpoint in %s to keep warm", az)})
+		})
+		return
+	}
+	a.rt.cloud.StartEnsureWarm(a.rt.env, az, fn, target, floor, a.rt.client.Account(), func(r cloudsim.ProvisionResult) {
+		done(warmpool.Provision{
+			Live:        r.Live,
+			Idle:        r.Idle,
+			Requested:   r.Requested,
+			Provisioned: r.Provisioned,
+			CostUSD:     r.CostUSD,
+			Err:         r.Err,
+		})
+	})
+}
+
+// EnableWarmPool assembles the predictive pre-warming loop over this
+// runtime: per-zone arrival forecasting fed by the router's traffic feed, a
+// Little's-law sizer over the admission gate's service-time estimate for w
+// (enable admission first; the catalog BaseMS is the fallback), and
+// actuation through the cloud's PreWarm/SetFloor API against each zone's
+// x86 mesh endpoint, billed to the runtime's account. The returned
+// maintainer is not started; call Start to arm its control loop.
+func (rt *Runtime) EnableWarmPool(cfg warmpool.Config, w workload.ID) (*warmpool.Maintainer, error) {
+	act := &runtimeActuator{rt: rt, memoryMB: 4096, arch: cpu.X86, byZone: make(map[string]string)}
+	svc := func() float64 {
+		if rt.gate != nil {
+			if ms := rt.gate.ServiceMS(w); ms > 0 {
+				return ms
+			}
+		}
+		if spec, ok := workload.Get(w); ok && spec.BaseMS > 0 {
+			return spec.BaseMS
+		}
+		return 1000
+	}
+	m, err := warmpool.New(rt.env, cfg, act, svc, rt.metrics)
+	if err != nil {
+		return nil, err
+	}
+	rt.addTrafficSink(m.ObserveTraffic)
+	rt.warmer = m
+	return m, nil
+}
+
+// WarmPool returns the pre-warming loop (nil until EnableWarmPool).
+func (rt *Runtime) WarmPool() *warmpool.Maintainer { return rt.warmer }
 
 // EnableAdmission builds the overload-control gate over this runtime.
 // Slots defaults to the platform quota minus headroom for the router's

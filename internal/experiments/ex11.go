@@ -1,0 +1,461 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"skyfaas/internal/admission"
+	"skyfaas/internal/chaos"
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/faas"
+	"skyfaas/internal/load"
+	"skyfaas/internal/metrics"
+	"skyfaas/internal/rng"
+	"skyfaas/internal/sampler"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/tablefmt"
+	"skyfaas/internal/warmpool"
+	"skyfaas/internal/workload"
+)
+
+// EX-11 — predictive warm pooling vs the cold-start tax. One zone serves a
+// day/night square wave: each period spends its first half at a
+// near-silent trough that outlasts the platform keep-alive (so pools
+// drain) and its second half at a busy plateau, with a vertical edge
+// between them. Four policies run the identical arrival schedule: no warm
+// pool (organic warming pays one cold start per concurrency slot at every
+// edge), a pinned floor (pay to hold peak capacity through every trough),
+// reactive sizing (track the smoothed recent rate — always one edge
+// behind, so its floor arrives after organic warming already paid), and
+// predictive sizing (Holt–Winters seasonal forecast one lead ahead, warm
+// before the step). Spend is honest: pre-warm initializations AND
+// floor-held instance-seconds are billed (cloudsim's provisioned-
+// concurrency pricing), so holding capacity is never free. The first
+// period trains the forecaster and is excluded from measurement; the
+// comparison is cold-start rate and served latency tail against warm-pool
+// spend. Two extra cells repeat reactive and predictive under a chaos
+// cold-start spike, where every cold start the policy fails to prevent
+// costs several times more.
+
+// The six cells: four policies on the clean curve, the two adaptive
+// policies again under a cold-start spike.
+const (
+	EX11Off             = "off"
+	EX11Pinned          = "pinned"
+	EX11Reactive        = "reactive"
+	EX11Predictive      = "predictive"
+	EX11ReactiveSpike   = "reactive-spike"
+	EX11PredictiveSpike = "predictive-spike"
+)
+
+// EX11Arms lists the cells in run order.
+func EX11Arms() []string {
+	return []string{EX11Off, EX11Pinned, EX11Reactive, EX11Predictive,
+		EX11ReactiveSpike, EX11PredictiveSpike}
+}
+
+// EX11Config parameterizes EX-11.
+type EX11Config struct {
+	Seed uint64
+	// Shards selects the simulation engine (0/1 single-queue, N > 1
+	// sharded); replay is byte-identical across values.
+	Shards int
+	// Zone is the served zone (default us-west-1a).
+	Zone string
+	// Workload the curve runs (default sha1_hash, ~1s service time).
+	Workload workload.ID
+	// Quota is the provider-side concurrent execution limit (default 60).
+	Quota int
+	// KeepAlive is the platform's idle-instance retention (default 60s —
+	// compressed below the diurnal trough so pools actually drain, the
+	// regime the paper's cold-start numbers live in).
+	KeepAlive time.Duration
+	// PeakRPS / BaseRPS / Period / Cycles shape the square wave: each
+	// Period spends its first half at BaseRPS (the trough) and its second
+	// half at PeakRPS (the plateau), Cycles times (defaults 10 rps,
+	// PeakRPS/20, 12m, 4). The near-silent trough is the point: it must
+	// outlast KeepAlive so pools drain, and the vertical edge rewards the
+	// policy's foresight (or punishes its lack). The first cycle trains
+	// the forecaster and is excluded from measurement.
+	PeakRPS float64
+	BaseRPS float64
+	Period  time.Duration
+	Cycles  int
+	// TickEvery / Window / Lead tune the maintainer (defaults 20s / 30s /
+	// 90s; the season is always Period).
+	TickEvery time.Duration
+	Window    time.Duration
+	Lead      time.Duration
+	// Gamma is the forecaster's seasonal learning rate (default 0.65 —
+	// higher than the production default because the experiment compresses
+	// a day into minutes and grants the forecaster only one training pass
+	// over the season before measurement starts).
+	Gamma float64
+	// Floor is the pinned policy's fixed warm floor (default 12 — peak
+	// concurrency at the default curve).
+	Floor int
+	// RatePerHour / Cap tune the USD budget governor (defaults 0.50/1.00).
+	RatePerHour float64
+	Cap         float64
+	// SpikeMagnitude is the chaos cold-start multiplier in the spike cells
+	// (default 8).
+	SpikeMagnitude float64
+	// InitPolls seeds the characterization (default 2); ProfileRuns trains
+	// the perf model and the gate's service-time estimate (default 240).
+	InitPolls   int
+	ProfileRuns int
+	// Sampler overrides the polling configuration.
+	Sampler sampler.Config
+}
+
+func (c EX11Config) withDefaults() EX11Config {
+	if c.Zone == "" {
+		c.Zone = "us-west-1a"
+	}
+	if c.Workload == 0 {
+		c.Workload = workload.Sha1Hash
+	}
+	if c.Quota == 0 {
+		c.Quota = 60
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = time.Minute
+	}
+	if c.PeakRPS == 0 {
+		c.PeakRPS = 10
+	}
+	if c.BaseRPS == 0 {
+		c.BaseRPS = c.PeakRPS / 20
+	}
+	if c.Period == 0 {
+		c.Period = 12 * time.Minute
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 4
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = 20 * time.Second
+	}
+	if c.Window == 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.Lead == 0 {
+		c.Lead = 90 * time.Second
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.65
+	}
+	if c.Floor == 0 {
+		c.Floor = 12
+	}
+	if c.RatePerHour == 0 {
+		c.RatePerHour = 0.50
+	}
+	if c.Cap == 0 {
+		c.Cap = 1.00
+	}
+	if c.SpikeMagnitude == 0 {
+		c.SpikeMagnitude = 8
+	}
+	if c.InitPolls == 0 {
+		c.InitPolls = 2
+	}
+	if c.ProfileRuns == 0 {
+		c.ProfileRuns = 240
+	}
+	if c.Sampler.Endpoints == 0 {
+		c.Sampler = sampler.Config{
+			Endpoints: 40, PollSize: 50, Branch: 7,
+			InterPollPause: 500 * time.Millisecond,
+		}
+	}
+	return c
+}
+
+// Reduced returns a benchmark-scale EX-11: the same curve shape compressed
+// to three 6-minute cycles at 6 rps peak.
+func (c EX11Config) Reduced() EX11Config {
+	c = c.withDefaults()
+	c.Quota = 30
+	c.PeakRPS = 6
+	c.BaseRPS = 0.3
+	c.Period = 6 * time.Minute
+	c.Cycles = 3
+	c.TickEvery = 15 * time.Second
+	c.Lead = time.Minute
+	c.Floor = 8
+	c.ProfileRuns = 120
+	return c
+}
+
+// EX11Cell is one policy's measurement over the post-training cycles.
+type EX11Cell struct {
+	Arm   string
+	Mode  warmpool.Mode
+	Spike bool
+	// Requests / Cold count measured arrivals and the ones that paid a
+	// request-path cold start; ColdRate is their ratio.
+	Requests int
+	Cold     int
+	ColdRate float64
+	// Latency digests served measured requests; Errors counts failures.
+	Latency metrics.Summary
+	Errors  uint64
+	// SpendUSD is the warm-pool provisioning spend from the cloud meter;
+	// Provisioned / SkippedBudget are the maintainer's rollup.
+	SpendUSD      float64
+	Provisioned   int
+	SkippedBudget int
+}
+
+// EX11Result carries the policy comparison, cells in arm order.
+type EX11Result struct {
+	Workload workload.ID
+	Zone     string
+	PeakRPS  float64
+	Period   time.Duration
+	Cycles   int
+	Cells    []EX11Cell
+}
+
+// Cell returns the named arm's measurement.
+func (r EX11Result) Cell(arm string) (EX11Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Arm == arm {
+			return c, true
+		}
+	}
+	return EX11Cell{}, false
+}
+
+// armPlan maps an arm to its policy and whether the chaos spike runs.
+func armPlan(arm string) (warmpool.Mode, bool) {
+	spike := strings.HasSuffix(arm, "-spike")
+	return warmpool.Mode(strings.TrimSuffix(arm, "-spike")), spike
+}
+
+// ex11Arrivals builds the square-wave schedule: each Period spends its
+// first half at BaseRPS and its second half at PeakRPS, with a vertical
+// edge between them. Each segment draws from its own derived stream so the
+// schedule is independent of how other segments consume randomness.
+func ex11Arrivals(cfg EX11Config, r *rng.Stream) ([]time.Duration, error) {
+	half := cfg.Period / 2
+	var out []time.Duration
+	for cyc := 0; cyc < cfg.Cycles; cyc++ {
+		start := time.Duration(cyc) * cfg.Period
+		for i, rate := range []float64{cfg.BaseRPS, cfg.PeakRPS} {
+			sched := load.Schedule{Pattern: load.Constant, PeakRPS: rate, Duration: half}
+			if err := sched.Validate(); err != nil {
+				return nil, err
+			}
+			off := start + time.Duration(i)*half
+			for _, at := range sched.Arrivals(r.SplitIndexed("seg", cyc*2+i)) {
+				out = append(out, off+at)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunEX11 executes EX-11.
+func RunEX11(cfg EX11Config) (EX11Result, error) {
+	cfg = cfg.withDefaults()
+	res := EX11Result{
+		Workload: cfg.Workload, Zone: cfg.Zone,
+		PeakRPS: cfg.PeakRPS, Period: cfg.Period, Cycles: cfg.Cycles,
+	}
+	for _, arm := range EX11Arms() {
+		cell, err := runEX11Cell(cfg, arm)
+		if err != nil {
+			return EX11Result{}, fmt.Errorf("ex11: %s: %w", arm, err)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// runEX11Cell measures one policy in a fresh world: identical seed,
+// identical characterization, warmup, and arrival schedule — only the
+// warm-pool mode and the chaos window differ.
+func runEX11Cell(cfg EX11Config, arm string) (EX11Cell, error) {
+	mode, spike := armPlan(arm)
+	rt, err := core.New(core.Config{
+		Seed:       cfg.Seed,
+		Epoch:      defaultEpoch,
+		SamplerCfg: cfg.Sampler,
+		CloudOpts: cloudsim.Options{
+			Quota: cfg.Quota, KeepAlive: cfg.KeepAlive, HorizonDays: 2,
+		},
+		SkipMesh: true,
+		Shards:   cfg.Shards,
+	})
+	if err != nil {
+		return EX11Cell{}, err
+	}
+	cell := EX11Cell{Arm: arm, Mode: mode, Spike: spike}
+	err = rt.Do(func(p *sim.Proc) error {
+		// The same estimate pipeline skyd uses: characterize, train the
+		// perf model, seed the admission gate — its service-time estimate
+		// is the sizer's input, so every arm builds it identically.
+		if _, err := rt.Refresh(p, []string{cfg.Zone}, cfg.InitPolls); err != nil {
+			return err
+		}
+		if _, err := rt.ProfileWorkloads(p, []workload.ID{cfg.Workload}, []string{cfg.Zone}, cfg.ProfileRuns); err != nil {
+			return err
+		}
+		if _, err := rt.EnableAdmission(admission.Config{}); err != nil {
+			return err
+		}
+		m, err := rt.EnableWarmPool(warmpool.Config{
+			Zones:       []string{cfg.Zone},
+			Mode:        mode,
+			TickEvery:   cfg.TickEvery,
+			Window:      cfg.Window,
+			Season:      cfg.Period,
+			Lead:        cfg.Lead,
+			Gamma:       cfg.Gamma,
+			Floor:       cfg.Floor,
+			RatePerHour: cfg.RatePerHour,
+			Cap:         cfg.Cap,
+		}, cfg.Workload)
+		if err != nil {
+			return err
+		}
+		m.Start()
+
+		training := cfg.Period
+		if spike {
+			// The spike covers every measured cycle: each cold start the
+			// policy fails to prevent now pays SpikeMagnitude times the
+			// usual initialization.
+			if _, err := rt.Chaos().Inject(chaos.Fault{
+				Kind:      chaos.ColdStartSpike,
+				AZ:        cfg.Zone,
+				Start:     training,
+				Duration:  time.Duration(cfg.Cycles-1) * cfg.Period,
+				Magnitude: cfg.SpikeMagnitude,
+			}); err != nil {
+				return err
+			}
+		}
+
+		ep, ok := rt.Mesh().Lookup(cfg.Zone, 4096, cpu.X86)
+		if !ok {
+			return fmt.Errorf("no mesh endpoint in %s", cfg.Zone)
+		}
+		env := rt.Env()
+		client := rt.Client()
+		spec := faas.InvokeSpec{Call: faas.Call{
+			AZ:       cfg.Zone,
+			Function: ep.Function,
+			Work:     cloudsim.WorkBehavior{Workload: cfg.Workload},
+		}}
+
+		arrivals, err := ex11Arrivals(cfg, rng.New(cfg.Seed).Split("ex11/arrivals"))
+		if err != nil {
+			return err
+		}
+		if len(arrivals) == 0 {
+			return fmt.Errorf("empty arrival schedule")
+		}
+
+		rec := load.NewRecorder()
+		var measuredStart time.Time
+		remaining := len(arrivals)
+		drained := sim.NewEvent(env)
+		for _, at := range arrivals {
+			at := at
+			env.Schedule(at, func() {
+				// The forecaster's signal: arrivals, observed at arrival
+				// time (skyd wires this to the router's traffic feed).
+				m.ObserveTraffic(cfg.Zone, 1)
+				measured := at >= training
+				if measured && measuredStart.IsZero() {
+					measuredStart = env.Now()
+				}
+				sent := env.Now()
+				env.Go("ex11-req", func(rp *sim.Proc) error {
+					resp := client.Do(rp, spec)
+					if measured {
+						cell.Requests++
+						if resp.Cold {
+							cell.Cold++
+						}
+						latMS := float64(env.Now().Sub(sent)) / float64(time.Millisecond)
+						if resp.OK() {
+							rec.Record(load.OK, latMS)
+						} else {
+							rec.Record(load.Errored, latMS)
+						}
+					}
+					if remaining--; remaining == 0 {
+						drained.Trigger(nil)
+					}
+					return nil
+				})
+			})
+		}
+		p.Wait(drained)
+		m.Stop()
+		if cell.Requests > 0 {
+			cell.ColdRate = float64(cell.Cold) / float64(cell.Requests)
+		}
+		elapsed := env.Now().Sub(measuredStart)
+		rep := rec.Report(float64(cell.Requests)/elapsed.Seconds(), elapsed)
+		cell.Latency = rep.Latency
+		cell.Errors = rep.Errors
+		st := m.Snapshot()
+		cell.Provisioned = st.Provisioned
+		cell.SkippedBudget = st.SkippedBudget
+		cell.SpendUSD = rt.Cloud().WarmPoolSpend(rt.Client().Account())
+		return nil
+	})
+	if err != nil {
+		return EX11Cell{}, err
+	}
+	return cell, nil
+}
+
+// Render produces the policy report.
+func (r EX11Result) Render() string {
+	out := fmt.Sprintf("EX-11 — predictive warm pooling vs the cold-start tax (%s in %s, day/night square wave %.0f rps peak, %v period x %d cycles, first cycle trains)\n\n",
+		r.Workload, r.Zone, r.PeakRPS, r.Period, r.Cycles)
+	t := tablefmt.New("arm", "requests", "cold", "cold rate", "p50 ms", "p99 ms", "provisioned", "spend USD")
+	for _, c := range r.Cells {
+		t.Row(c.Arm, c.Requests, c.Cold, tablefmt.Pct(c.ColdRate),
+			fmt.Sprintf("%.0f", c.Latency.P50), fmt.Sprintf("%.0f", c.Latency.P99),
+			c.Provisioned, fmt.Sprintf("%.6f", c.SpendUSD))
+	}
+	out += t.String()
+	off, okO := r.Cell(EX11Off)
+	re, okR := r.Cell(EX11Reactive)
+	pr, okP := r.Cell(EX11Predictive)
+	if okO && okR && okP {
+		out += fmt.Sprintf("\nheadline: forecast-led pre-warming cut the cold-start rate from %s (no pool) and %s (reactive) to %s at $%.6f vs reactive's $%.6f provisioning spend\n",
+			tablefmt.Pct(off.ColdRate), tablefmt.Pct(re.ColdRate), tablefmt.Pct(pr.ColdRate),
+			pr.SpendUSD, re.SpendUSD)
+	}
+	if rs, ok := r.Cell(EX11ReactiveSpike); ok {
+		if ps, ok2 := r.Cell(EX11PredictiveSpike); ok2 {
+			out += fmt.Sprintf("under an 8x cold-start spike the served p99 gap widens: reactive %.0f ms vs predictive %.0f ms\n",
+				rs.Latency.P99, ps.Latency.P99)
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the policy table as one dataset.
+func (r EX11Result) WriteCSV(dir string) error {
+	t := tablefmt.New("arm", "mode", "spike", "requests", "cold", "cold_rate",
+		"errors", "p50_ms", "p90_ms", "p95_ms", "p99_ms",
+		"provisioned", "skipped_budget", "spend_usd")
+	for _, c := range r.Cells {
+		t.Row(c.Arm, string(c.Mode), c.Spike, c.Requests, c.Cold, c.ColdRate,
+			c.Errors, c.Latency.P50, c.Latency.P90, c.Latency.P95, c.Latency.P99,
+			c.Provisioned, c.SkippedBudget, c.SpendUSD)
+	}
+	return writeCSVFile(dir, "ex11_warmpool.csv", t)
+}

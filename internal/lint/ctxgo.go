@@ -14,6 +14,7 @@ var ctxgoScope = []string{
 	"internal/workload",
 	"internal/chaos",
 	"internal/tenant",
+	"internal/warmpool",
 }
 
 var ctxgoAnalyzer = &Analyzer{

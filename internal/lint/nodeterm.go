@@ -16,6 +16,7 @@ var nodetermScope = []string{
 	"internal/admission",
 	"internal/load",
 	"internal/tenant",
+	"internal/warmpool",
 }
 
 // nodetermTimeFuncs are the wall-clock entry points of package time that

@@ -1,0 +1,42 @@
+// Package warmpool is a skylint fixture: the real maintainer's forecasts
+// must be pure functions of observed arrivals and virtual time (nodeterm —
+// a wall-clock read would desync replays and shard counts), and its control
+// loop lives inside the simulation, so any real goroutine it spawned would
+// outlive the run holding pool state (ctxgo).
+package warmpool
+
+import (
+	"sync"
+	"time"
+)
+
+// Forecast samples the wall clock to pick a seasonal bucket — forbidden:
+// virtual time comes from sim.Env, passed in by the caller.
+func Forecast() time.Time {
+	return time.Now() //want nodeterm
+}
+
+// ForecastAt is the correct shape: explicit virtual now from the caller.
+func ForecastAt(now time.Time) time.Time {
+	return now
+}
+
+// Tick launches an unjoined actuation goroutine — forbidden: the control
+// loop runs as simulation events, never as free-running goroutines.
+func Tick() {
+	go func() { //want ctxgo
+		var n int
+		n++
+		_ = n
+	}()
+}
+
+// TickJoined is fine: the actuation is joined before return.
+func TickJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

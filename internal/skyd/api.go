@@ -151,6 +151,8 @@ func apiRouteDefs() []routeDef {
 		{method: "POST", path: "/v1/refresh", auth: true, admin: true, h: func(s *Server) apiFunc { return s.handleRefreshControl }},
 		{method: "GET", path: "/v1/admission", auth: true, h: func(s *Server) apiFunc { return s.handleAdmissionStatus }},
 		{method: "POST", path: "/v1/admission", auth: true, admin: true, h: func(s *Server) apiFunc { return s.handleAdmissionControl }},
+		{method: "GET", path: "/v1/warmpool", auth: true, h: func(s *Server) apiFunc { return s.handleWarmPoolStatus }},
+		{method: "POST", path: "/v1/warmpool", auth: true, admin: true, h: func(s *Server) apiFunc { return s.handleWarmPoolControl }},
 		{method: "GET", path: "/v1/tenants", auth: true, admin: true, h: func(s *Server) apiFunc { return s.handleListTenants }},
 		{method: "POST", path: "/v1/tenants", auth: true, admin: true, h: func(s *Server) apiFunc { return s.handleCreateTenant }},
 		{method: "DELETE", path: "/v1/tenants/{id}", auth: true, admin: true, h: func(s *Server) apiFunc { return s.handleDeleteTenant }},

@@ -25,6 +25,8 @@ import (
 	"skyfaas/internal/refresh"
 	"skyfaas/internal/sim"
 	"skyfaas/internal/tenant"
+	"skyfaas/internal/warmpool"
+	"skyfaas/internal/workload"
 )
 
 // ErrClosed is returned for commands submitted after Close.
@@ -53,6 +55,16 @@ type Config struct {
 	// endpoints answering 409 (unless the runtime already carries a
 	// maintainer, which the server adopts and stops on Close).
 	Refresh *refresh.Config
+	// WarmPool, when non-nil, enables the predictive pre-warming control
+	// loop on the runtime and starts it with the server; /v1/warmpool then
+	// inspects and steers it. Nil leaves the endpoints answering 409
+	// (unless the runtime already carries a maintainer, which the server
+	// adopts and stops on Close).
+	WarmPool *warmpool.Config
+	// WarmPoolWorkload selects the workload whose admission service-time
+	// estimate sizes the warm pools (default Sha1Hash, the catalog's
+	// lightest request-shaped workload).
+	WarmPoolWorkload workload.ID
 	// Admission, when non-nil, enables the overload-control gate on the
 	// runtime: burst requests past estimated capacity answer 429 with
 	// Retry-After, and /v1/admission inspects and retunes the gate. Nil
@@ -81,6 +93,10 @@ type Server struct {
 	// (nil when refresh is disabled); Close must stop it or its
 	// self-rescheduling tick would keep the event queue alive forever.
 	refresher *refresh.Maintainer
+
+	// warmer is the pre-warming loop (nil when warm pooling is disabled);
+	// like the refresher it self-reschedules, so Close must stop it.
+	warmer *warmpool.Maintainer
 
 	// gate is the overload-control layer in the burst path (nil when
 	// admission is disabled). It needs no lifecycle management: it holds no
@@ -146,6 +162,21 @@ func New(cfg Config) (*Server, error) {
 	} else if m := cfg.Runtime.Refresher(); m != nil {
 		// Adopt an externally enabled maintainer so Close can stop its tick.
 		s.refresher = m
+	}
+	if cfg.WarmPool != nil {
+		w := cfg.WarmPoolWorkload
+		if w == 0 {
+			w = workload.Sha1Hash
+		}
+		m, err := cfg.Runtime.EnableWarmPool(*cfg.WarmPool, w)
+		if err != nil {
+			return nil, err
+		}
+		m.Start()
+		s.warmer = m
+	} else if m := cfg.Runtime.WarmPool(); m != nil {
+		// Adopt an externally enabled maintainer so Close can stop its tick.
+		s.warmer = m
 	}
 	if cfg.Admission != nil {
 		gate, err := cfg.Runtime.EnableAdmission(*cfg.Admission)
@@ -240,6 +271,9 @@ func (s *Server) Close() {
 	// self-rescheduling tick would keep it full forever.
 	if s.refresher != nil {
 		s.refresher.Stop()
+	}
+	if s.warmer != nil {
+		s.warmer.Stop()
 	}
 	close(s.stop)
 	// Drop the real-time pacing for the remaining queue: the cloud

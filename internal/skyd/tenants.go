@@ -103,5 +103,12 @@ func (s *Server) handleTenantUsage(ctx context.Context, r *apiReq) (any, *apiErr
 	if !ok {
 		return nil, apiErrf(http.StatusNotFound, "unknown_tenant", "no tenant %q", id)
 	}
+	if s.warmer != nil {
+		// Warm-pool provisioning is platform spend billed to the operator
+		// account; surface it on the rollup so tenants see what the sky
+		// pays to keep their cold starts down. The meter is mutex-guarded,
+		// so this read needs no Exec round trip.
+		u.WarmPoolUSD = s.rt.Cloud().WarmPoolSpend(s.rt.Client().Account())
+	}
 	return u, nil
 }

@@ -1,0 +1,150 @@
+package skyd
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"skyfaas/internal/sim"
+	"skyfaas/internal/warmpool"
+)
+
+// Warm-pool admin surface. GET /v1/warmpool snapshots the maintainer
+// (policy, budget, per-zone forecast/target/pool state); POST /v1/warmpool
+// switches policies and retunes the spend budget. Rates are requests/sec,
+// money is USD, matching the refresh surface.
+
+type warmPoolZoneJS struct {
+	AZ          string  `json:"az"`
+	RecentRPS   float64 `json:"recentRPS"`
+	ForecastRPS float64 `json:"forecastRPS"`
+	Target      int     `json:"target"`
+	Floor       int     `json:"floor"`
+	Live        int     `json:"live"`
+	Idle        int     `json:"idle"`
+	Provisioned int     `json:"provisioned"`
+	SpentUSD    float64 `json:"spentUSD"`
+}
+
+type warmPoolStatusJS struct {
+	Mode              string           `json:"mode"`
+	Running           bool             `json:"running"`
+	BudgetBalanceUSD  float64          `json:"budgetBalanceUSD"`
+	BudgetRatePerHour float64          `json:"budgetRatePerHour"`
+	BudgetCapUSD      float64          `json:"budgetCapUSD"`
+	SpentUSD          float64          `json:"spentUSD"`
+	Ticks             int              `json:"ticks"`
+	Provisioned       int              `json:"provisioned"`
+	SkippedBudget     int              `json:"skippedBudget"`
+	Zones             []warmPoolZoneJS `json:"zones"`
+}
+
+func warmPoolStatus(st warmpool.Status, running bool) warmPoolStatusJS {
+	out := warmPoolStatusJS{
+		Mode:              string(st.Mode),
+		Running:           running,
+		BudgetBalanceUSD:  st.BudgetBalance,
+		BudgetRatePerHour: st.BudgetRate,
+		BudgetCapUSD:      st.BudgetCap,
+		SpentUSD:          st.SpentUSD,
+		Ticks:             st.Ticks,
+		Provisioned:       st.Provisioned,
+		SkippedBudget:     st.SkippedBudget,
+		Zones:             []warmPoolZoneJS{},
+	}
+	for _, z := range st.Zones {
+		out.Zones = append(out.Zones, warmPoolZoneJS{
+			AZ:          z.AZ,
+			RecentRPS:   z.RecentRPS,
+			ForecastRPS: z.ForecastRPS,
+			Target:      z.Target,
+			Floor:       z.Floor,
+			Live:        z.Live,
+			Idle:        z.Idle,
+			Provisioned: z.Provisioned,
+			SpentUSD:    z.SpentUSD,
+		})
+	}
+	return out
+}
+
+type warmPoolBudgetJS struct {
+	RatePerHour float64 `json:"ratePerHour"`
+	CapUSD      float64 `json:"capUSD"`
+}
+
+type warmPoolReq struct {
+	// Mode switches the sizing policy (off | pinned | reactive | predictive).
+	Mode string `json:"mode,omitempty"`
+	// Budget retunes the token-bucket spend governor.
+	Budget *warmPoolBudgetJS `json:"budget,omitempty"`
+}
+
+// errWarmPoolDisabled answers both endpoints when the server was built
+// without a warm-pool configuration.
+func errWarmPoolDisabled() *apiError {
+	return apiErrf(http.StatusConflict, "warmpool_disabled",
+		"warm-pool maintenance not enabled (start skyd with a warm-pool config)")
+}
+
+func (s *Server) handleWarmPoolStatus(ctx context.Context, r *apiReq) (any, *apiError) {
+	m := s.warmer
+	if m == nil {
+		return nil, errWarmPoolDisabled()
+	}
+	var st warmpool.Status
+	err := s.Exec(func(*sim.Proc) error {
+		st = m.Snapshot()
+		return nil
+	})
+	if err != nil {
+		return nil, errFromExec(err)
+	}
+	return warmPoolStatus(st, m.Running()), nil
+}
+
+func (s *Server) handleWarmPoolControl(ctx context.Context, r *apiReq) (any, *apiError) {
+	m := s.warmer
+	if m == nil {
+		return nil, errWarmPoolDisabled()
+	}
+	var req warmPoolReq
+	if e := r.decode(&req); e != nil {
+		return nil, e
+	}
+	if req.Mode == "" && req.Budget == nil {
+		return nil, apiErrf(http.StatusBadRequest, "bad_request",
+			"provide at least one of mode, budget")
+	}
+	if req.Mode != "" && !warmpool.ValidMode(warmpool.Mode(req.Mode)) {
+		names := make([]string, 0, 4)
+		for _, k := range warmpool.Modes() {
+			names = append(names, string(k))
+		}
+		return nil, apiErrf(http.StatusBadRequest, "unknown_mode",
+			"unknown mode %q (valid: %s)", req.Mode, strings.Join(names, ", "))
+	}
+	if req.Budget != nil && (req.Budget.RatePerHour < 0 || req.Budget.CapUSD <= 0) {
+		return nil, apiErrf(http.StatusBadRequest, "bad_budget",
+			"budget rate must be >= 0 and cap > 0")
+	}
+	var st warmpool.Status
+	err := s.Exec(func(*sim.Proc) error {
+		if req.Mode != "" {
+			if err := m.SetMode(warmpool.Mode(req.Mode)); err != nil {
+				return err
+			}
+		}
+		if req.Budget != nil {
+			if err := m.RetuneBudget(req.Budget.RatePerHour, req.Budget.CapUSD); err != nil {
+				return err
+			}
+		}
+		st = m.Snapshot()
+		return nil
+	})
+	if err != nil {
+		return nil, errFromExec(err)
+	}
+	return warmPoolStatus(st, m.Running()), nil
+}

@@ -1,0 +1,196 @@
+package skyd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"skyfaas/internal/cloudsim"
+	"skyfaas/internal/core"
+	"skyfaas/internal/cpu"
+	"skyfaas/internal/geo"
+	"skyfaas/internal/sampler"
+	"skyfaas/internal/sim"
+	"skyfaas/internal/tenant"
+	"skyfaas/internal/warmpool"
+)
+
+// newWarmPoolServer builds the two-zone test server with the pre-warming
+// loop enabled in the given mode.
+func newWarmPoolServer(t *testing.T, mode warmpool.Mode) *Server {
+	t.Helper()
+	rt, err := core.New(core.Config{
+		Seed: 9,
+		Catalog: []cloudsim.RegionSpec{{
+			Provider: cloudsim.AWS, Name: "t1", Loc: geo.Coord{Lat: 40, Lon: -80},
+			AZs: []cloudsim.AZSpec{
+				{Name: "t1-slow", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon25: 0.5, cpu.EPYC: 0.5}},
+				{Name: "t1-fast", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon30: 0.6, cpu.Xeon25: 0.4}},
+			},
+		}},
+		SamplerCfg: sampler.Config{
+			Endpoints: 30, PollSize: 84, Branch: 4,
+			Sleep: 100 * time.Millisecond, InterPollPause: 500 * time.Millisecond,
+		},
+		SkipMesh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Runtime: rt,
+		Speedup: 5e6,
+		WarmPool: &warmpool.Config{
+			Zones: []string{"t1-slow", "t1-fast"},
+			Mode:  mode,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestWarmPoolDisabledAnswers409(t *testing.T) {
+	s := newTestServer(t)
+	res, body := do(t, s, "GET", "/v1/warmpool", nil)
+	wantErr(t, res, body, http.StatusConflict, "warmpool_disabled")
+	res, body = do(t, s, "POST", "/v1/warmpool", map[string]any{"mode": "pinned"})
+	wantErr(t, res, body, http.StatusConflict, "warmpool_disabled")
+}
+
+func TestWarmPoolStatusAndControl(t *testing.T) {
+	s := newWarmPoolServer(t, warmpool.ModeOff)
+
+	res, body := do(t, s, "GET", "/v1/warmpool", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d: %s", res.StatusCode, body)
+	}
+	var st warmPoolStatusJS
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "off" || !st.Running || len(st.Zones) != 2 {
+		t.Fatalf("status = %+v, want running off-mode loop over 2 zones", st)
+	}
+
+	// Switch policy and retune the budget in one call.
+	res, body = do(t, s, "POST", "/v1/warmpool", map[string]any{
+		"mode":   "predictive",
+		"budget": map[string]any{"ratePerHour": 2.5, "capUSD": 0.75},
+	})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("control status = %d: %s", res.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "predictive" || st.BudgetRatePerHour != 2.5 || st.BudgetCapUSD != 0.75 {
+		t.Fatalf("after retune: %+v, want predictive mode with 2.5/h cap 0.75", st)
+	}
+}
+
+func TestWarmPoolControlValidation(t *testing.T) {
+	s := newWarmPoolServer(t, warmpool.ModeOff)
+	res, body := do(t, s, "POST", "/v1/warmpool", map[string]any{})
+	wantErr(t, res, body, http.StatusBadRequest, "bad_request")
+	res, body = do(t, s, "POST", "/v1/warmpool", map[string]any{"mode": "clairvoyant"})
+	wantErr(t, res, body, http.StatusBadRequest, "unknown_mode")
+	res, body = do(t, s, "POST", "/v1/warmpool", map[string]any{"budget": map[string]any{"ratePerHour": 1.0}})
+	wantErr(t, res, body, http.StatusBadRequest, "bad_budget")
+}
+
+// TestWarmPoolLoopCloseRaces arms a pinned-mode loop that is actively
+// ticking and immediately closes the server: Close must stop the tick and
+// return (run with -race; this is the cross-thread Stop path).
+func TestWarmPoolLoopCloseRaces(t *testing.T) {
+	s := newWarmPoolServer(t, warmpool.ModePinned)
+	res, _ := do(t, s, "GET", "/v1/warmpool", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", res.StatusCode)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung: warm-pool tick kept the event queue alive")
+	}
+}
+
+// TestTenantUsageIncludesWarmPoolSpend drives a real PreWarm against the
+// simulated cloud under the runtime's account and checks the platform's
+// warm-pool spend surfaces on the tenant usage rollup.
+func TestTenantUsageIncludesWarmPoolSpend(t *testing.T) {
+	rt, err := core.New(core.Config{
+		Seed: 13,
+		Catalog: []cloudsim.RegionSpec{{
+			Provider: cloudsim.AWS, Name: "t1", Loc: geo.Coord{Lat: 40, Lon: -80},
+			AZs: []cloudsim.AZSpec{
+				{Name: "t1-a", PoolFIs: 2048,
+					Mix: map[cpu.Kind]float64{cpu.Xeon25: 1}},
+			},
+		}},
+		SamplerCfg: sampler.Config{
+			Endpoints: 30, PollSize: 84, Branch: 4,
+			Sleep: 100 * time.Millisecond, InterPollPause: 500 * time.Millisecond,
+		},
+		SkipMesh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tenant.NewRegistry(tenant.Config{Metrics: rt.Metrics()})
+	for _, tn := range tenant.Fixture() {
+		if err := reg.Create(tn, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{
+		Runtime:  rt,
+		Speedup:  5e6,
+		Tenants:  reg,
+		WarmPool: &warmpool.Config{Zones: []string{"t1-a"}, Mode: warmpool.ModeOff},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	var cost float64
+	err = s.Exec(func(*sim.Proc) error {
+		c := s.Runtime().Cloud()
+		if _, err := c.Deploy("t1-a", "fn", cloudsim.DeployConfig{
+			MemoryMB: 2048,
+			Behavior: cloudsim.SleepBehavior{D: 50 * time.Millisecond},
+		}); err != nil {
+			return err
+		}
+		az, _ := c.AZ("t1-a")
+		_, cost, err = az.PreWarm("fn", 2, s.Runtime().Client().Account())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatalf("PreWarm cost = %f, want positive", cost)
+	}
+	res, body := doKey(t, s, "GET", "/v1/tenants/acme/usage", nil, acmeKey)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("usage status = %d: %s", res.StatusCode, body)
+	}
+	var u tenant.Usage
+	if err := json.Unmarshal(body, &u); err != nil {
+		t.Fatal(err)
+	}
+	if u.WarmPoolUSD != cost {
+		t.Fatalf("warmPoolUSD = %f, want the provisioning cost %f", u.WarmPoolUSD, cost)
+	}
+}

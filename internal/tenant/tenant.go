@@ -435,6 +435,11 @@ type Usage struct {
 	BudgetPerHourUSD float64 `json:"budgetPerHourUSD,omitempty"`
 	BudgetCapUSD     float64 `json:"budgetCapUSD,omitempty"`
 	BudgetBalanceUSD float64 `json:"budgetBalanceUSD,omitempty"`
+	// WarmPoolUSD is the platform's warm-pool provisioning spend —
+	// pre-warming is a platform service billed to the operator account, so
+	// the figure is the same on every tenant's rollup. The registry never
+	// fills it; skyd stamps it from the cloud meter when a warm pool runs.
+	WarmPoolUSD float64 `json:"warmPoolUSD,omitempty"`
 }
 
 func (r *Registry) usageLocked(a *account, now time.Time) Usage {

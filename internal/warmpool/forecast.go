@@ -1,0 +1,121 @@
+package warmpool
+
+import "time"
+
+// forecaster estimates one zone's arrival rate with an additive
+// Holt–Winters (seasonal EWMA) model over fixed-width sim-time windows.
+// Arrivals are accumulated into the current window; when virtual time
+// crosses a window boundary the closed window's count updates a level
+// EWMA and the seasonal component for that position in the season.
+// Everything is a pure function of the observation sequence and virtual
+// time — no wall clock, no randomness — so forecasts replay bit-identical.
+//
+// During the first season pass the seasonal terms are still zero and the
+// forecast degenerates to the level EWMA, i.e. the predictive policy
+// behaves reactively until it has seen one full period. That is the
+// correct cold-start behaviour for a forecaster: predict nothing you have
+// not observed.
+type forecaster struct {
+	window   time.Duration
+	alpha    float64 // level smoothing
+	gamma    float64 // seasonal smoothing
+	level    float64
+	seasonal []float64
+	idx      int // seasonal position of the *current* (open) window
+	cur      float64
+	last     int64 // index of the open window since start
+	start    time.Time
+	primed   bool    // level initialized from the first closed window
+	windows  int     // closed windows folded in so far
+	recent   float64 // plain EWMA of per-window arrivals (reactive policy)
+}
+
+func newForecaster(start time.Time, window, season time.Duration, alpha, gamma float64) *forecaster {
+	buckets := int(season / window)
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &forecaster{
+		window:   window,
+		alpha:    alpha,
+		gamma:    gamma,
+		seasonal: make([]float64, buckets),
+		start:    start,
+	}
+}
+
+// observe adds n arrivals at now, closing any windows the clock has passed.
+func (f *forecaster) observe(now time.Time, n int) {
+	f.advance(now)
+	f.cur += float64(n)
+}
+
+// advance folds every window closed by now into the model. Idle stretches
+// close a run of zero-count windows, correctly decaying the level.
+func (f *forecaster) advance(now time.Time) {
+	b := int64(now.Sub(f.start) / f.window)
+	for f.last < b {
+		f.fold(f.cur)
+		f.cur = 0
+		f.last++
+		f.idx = (f.idx + 1) % len(f.seasonal)
+	}
+}
+
+// fold updates the model with one closed window's arrival count.
+func (f *forecaster) fold(x float64) {
+	f.recent = f.alpha*x + (1-f.alpha)*f.recent
+	if !f.primed {
+		f.level = x
+		f.primed = true
+	} else {
+		s := f.seasonal[f.idx]
+		f.level = f.alpha*(x-s) + (1-f.alpha)*f.level
+		f.seasonal[f.idx] = f.gamma*(x-f.level) + (1-f.gamma)*s
+	}
+	f.windows++
+}
+
+// recentRPS is the smoothed current arrival rate in requests per second.
+func (f *forecaster) recentRPS() float64 {
+	return f.recent / f.window.Seconds()
+}
+
+// forecastRPS predicts the peak arrival rate within the next lead of
+// virtual time: the maximum level-plus-seasonal forecast over every window
+// the lead covers. Provisioning has to cover the worst window it cannot
+// react to in time, so a point sample at now+lead would blind the policy
+// whenever a steep seasonal edge sits just inside the lead.
+func (f *forecaster) forecastRPS(lead time.Duration) float64 {
+	n := int((lead + f.window - 1) / f.window)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(f.seasonal) {
+		n = len(f.seasonal)
+	}
+	best := 0.0
+	for ahead := 1; ahead <= n; ahead++ {
+		s := f.seasonal[(f.idx+ahead)%len(f.seasonal)]
+		if x := f.level + s; x > best {
+			best = x
+		}
+	}
+	return best / f.window.Seconds()
+}
+
+// forecastPointRPS predicts the arrival rate at exactly lead ahead of now:
+// the level plus the seasonal component of the window the lead lands in.
+// Where forecastRPS answers "what must I provision for" (the worst window
+// inside the lead), this answers "what will demand be once my lead has
+// passed" — the right signal for how much capacity to keep holding, since
+// it collapses one lead ahead of a falling seasonal edge.
+func (f *forecaster) forecastPointRPS(lead time.Duration) float64 {
+	ahead := int(lead / f.window)
+	s := f.seasonal[(f.idx+ahead)%len(f.seasonal)]
+	x := f.level + s
+	if x < 0 {
+		x = 0
+	}
+	return x / f.window.Seconds()
+}

@@ -43,6 +43,7 @@ import (
 	"skyfaas/internal/sampler"
 	"skyfaas/internal/sim"
 	"skyfaas/internal/tenant"
+	"skyfaas/internal/warmpool"
 	"skyfaas/internal/workload"
 )
 
@@ -161,6 +162,25 @@ type (
 
 // RefreshModes lists the supported maintenance modes, in stable order.
 func RefreshModes() []RefreshMode { return refresh.Modes() }
+
+// Predictive warm pooling (forecast-driven cold-start elimination).
+type (
+	// WarmPoolConfig tunes the pre-warming control loop.
+	WarmPoolConfig = warmpool.Config
+	// WarmPoolMode selects the pool-sizing policy (off, pinned, reactive,
+	// predictive).
+	WarmPoolMode = warmpool.Mode
+	// WarmPoolMaintainer is the running control loop; obtain one with
+	// Runtime.EnableWarmPool.
+	WarmPoolMaintainer = warmpool.Maintainer
+	// WarmPoolStatus is a point-in-time snapshot of the control loop.
+	WarmPoolStatus = warmpool.Status
+	// WarmPoolZoneStatus is one maintained zone's forecast and pool state.
+	WarmPoolZoneStatus = warmpool.ZoneStatus
+)
+
+// WarmPoolModes lists the supported pool-sizing policies, in stable order.
+func WarmPoolModes() []WarmPoolMode { return warmpool.Modes() }
 
 // Admission control (overload shedding) and open-loop load generation.
 type (
